@@ -1,0 +1,61 @@
+// Ablation TAB-A: the paper's priority scheme (Section IV-C) assigns
+// offsets (readers +5*P, GEMMs +1*P) on top of the decreasing-with-chain
+// base priority, creating a prefetch pipeline of depth 5*P. This harness
+// sweeps the reader offset (pipeline depth) and also disables the
+// chain-decreasing base, quantifying how much each ingredient buys.
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/presets.h"
+#include "sim/ptg_sim.h"
+
+using namespace mp;
+using namespace mp::sim;
+
+int main(int argc, char** argv) {
+  const int nodes = argc > 1 ? std::atoi(argv[1]) : 32;
+  const int cores = 15;
+  const auto p = make_preset("beta_carotene_32");
+
+  std::printf("== Ablation: priority scheme (v4 dataflow, %d nodes x %d "
+              "cores) ==\n",
+              nodes, cores);
+  std::printf("%-28s %12s %14s\n", "configuration", "makespan(s)",
+              "startup idle(s)");
+
+  auto run = [&](tce::VariantConfig v, int reader_off, int gemm_off) {
+    GraphOptions gopts;
+    gopts.variant = v;
+    gopts.nodes = nodes;
+    gopts.reader_offset = reader_off;
+    gopts.gemm_offset = gemm_off;
+    const auto g = build_graph(p.plan, gopts);
+    SimOptions sopts;
+    sopts.cores_per_node = cores;
+    sopts.record_trace = true;
+    auto r = simulate_ptg(g, sopts);
+    r.trace.normalize();
+    return std::make_pair(r.makespan, r.trace.mean_startup_idle());
+  };
+
+  {
+    const auto [mk, idle] = run(tce::VariantConfig::v2(), 5, 1);
+    std::printf("%-28s %12.3f %14.3f\n", "no priorities (v2)", mk, idle);
+  }
+  for (const int ro : {0, 1, 2, 5, 10, 20}) {
+    const auto [mk, idle] = run(tce::VariantConfig::v4(), ro, 1);
+    char label[64];
+    std::snprintf(label, sizeof label, "reader offset +%d*P%s", ro,
+                  ro == 5 ? " (paper)" : "");
+    std::printf("%-28s %12.3f %14.3f\n", label, mk, idle);
+  }
+  {
+    const auto [mk, idle] = run(tce::VariantConfig::v4(), 5, 0);
+    std::printf("%-28s %12.3f %14.3f\n", "gemm offset +0 (was +1*P)", mk,
+                idle);
+  }
+  std::printf("\nExpectation: the no-priority row pays a startup bubble; "
+              "small reader offsets under-prefetch; the paper's +5*P sits "
+              "at or near the plateau.\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Kernel microbenchmarks (google-benchmark): the measured numbers feed the
+// simulator's CostModel calibration — per-core GEMM flop rate, sort_4
+// streaming bandwidth, GA one-sided operation costs, scheduler push/pop
+// overhead, and activation-message serialization cost.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "ga/global_array.h"
+#include "ga/hash_block.h"
+#include "linalg/gemm.h"
+#include "linalg/sort4.h"
+#include "ptg/scheduler.h"
+#include "support/rng.h"
+#include "vc/cluster.h"
+#include "vc/message.h"
+
+namespace {
+
+using namespace mp;
+
+void BM_Dgemm(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<double> a(n * n), b(n * n), c(n * n, 0.0);
+  for (auto& x : a) x = rng.uniform(-1.0, 1.0);
+  for (auto& x : b) x = rng.uniform(-1.0, 1.0);
+  for (auto _ : state) {
+    linalg::dgemm('N', 'T', n, n, n, 1.0, a.data(), n, b.data(), n, 1.0,
+                  c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      linalg::gemm_flops(n, n, n) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Dgemm)->Arg(64)->Arg(128)->Arg(256)->Arg(400);
+
+void BM_Sort4(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const std::array<size_t, 4> dims{d, d, d, d};
+  std::vector<double> in(d * d * d * d, 1.0), out(in.size());
+  for (auto _ : state) {
+    linalg::sort_4(in.data(), out.data(), dims, {2, 3, 0, 1}, -1.0);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["GB/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(in.size()) * 8.0 *
+          static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Sort4)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_GaGet(benchmark::State& state) {
+  vc::Cluster cluster(2);
+  const int64_t n = state.range(0);
+  ga::GlobalArray arr(&cluster, n);
+  std::vector<double> buf(static_cast<size_t>(n));
+  for (auto _ : state) {
+    arr.get(0, n, buf.data());
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * 8);
+}
+BENCHMARK(BM_GaGet)->Arg(1024)->Arg(65536)->Arg(1 << 20);
+
+void BM_GaAcc(benchmark::State& state) {
+  vc::Cluster cluster(2);
+  const int64_t n = state.range(0);
+  ga::GlobalArray arr(&cluster, n);
+  std::vector<double> buf(static_cast<size_t>(n), 1.0);
+  for (auto _ : state) {
+    arr.acc(0, n, buf.data(), 1.0);
+  }
+  state.SetBytesProcessed(state.iterations() * n * 8);
+}
+BENCHMARK(BM_GaAcc)->Arg(1024)->Arg(65536)->Arg(1 << 20);
+
+void BM_NxtVal(benchmark::State& state) {
+  vc::Cluster cluster(1);
+  ga::NxtVal nv(&cluster);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nv.next());
+  }
+}
+BENCHMARK(BM_NxtVal);
+
+void BM_SchedulerPushPop(benchmark::State& state) {
+  const auto policy = static_cast<ptg::SchedPolicy>(state.range(0));
+  auto sched = ptg::Scheduler::create(policy, 4);
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    ptg::ReadyTask t;
+    t.priority = static_cast<double>(seq % 97);
+    t.seq = seq++;
+    t.key = ptg::TaskKey{0, ptg::params_of(static_cast<int32_t>(seq))};
+    sched->push(std::move(t), 0);
+    ptg::ReadyTask out;
+    benchmark::DoNotOptimize(sched->try_pop(out, 0));
+  }
+}
+BENCHMARK(BM_SchedulerPushPop)
+    ->Arg(static_cast<int>(ptg::SchedPolicy::kPriority))
+    ->Arg(static_cast<int>(ptg::SchedPolicy::kFifo))
+    ->Arg(static_cast<int>(ptg::SchedPolicy::kStealing));
+
+void BM_ActivationSerialize(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> data(n, 1.5);
+  for (auto _ : state) {
+    vc::WireWriter w;
+    w.put<int16_t>(3);
+    for (int i = 0; i < 3; ++i) w.put<int32_t>(i);
+    w.put<int8_t>(0);
+    w.put_doubles(data.data(), data.size());
+    auto payload = w.take();
+    benchmark::DoNotOptimize(payload.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(n) * 8);
+}
+BENCHMARK(BM_ActivationSerialize)->Arg(1024)->Arg(65536);
+
+void BM_HashBlockLookup(benchmark::State& state) {
+  ga::HashBlockIndex idx;
+  for (int a = 0; a < 20; ++a)
+    for (int b = 0; b < 20; ++b) idx.add(ga::HashBlockIndex::key4(a, b, 0, 0), 64);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const auto key = ga::HashBlockIndex::key4(static_cast<int>(i % 20),
+                                              static_cast<int>((i / 20) % 20),
+                                              0, 0);
+    benchmark::DoNotOptimize(idx.find(key));
+    ++i;
+  }
+}
+BENCHMARK(BM_HashBlockLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

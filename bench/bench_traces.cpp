@@ -1,0 +1,123 @@
+// Trace-figure reproduction (Figures 10-13): execution traces of
+//   * v4 (priorities decreasing with chain number)  — Fig. 10,
+//   * v2 (no priorities)                            — Fig. 11,
+//   * the original TCE code                         — Figs. 12/13,
+// on the simulated 32-node cluster at 7 cores/node (the paper's traces use
+// 7 worker threads per node).
+//
+// For each trace we print an ASCII Gantt of the first few nodes and the
+// quantitative signatures the paper reads off the figures: startup idle
+// (the v2 bubble), overall idle fraction, and communication/computation
+// overlap.
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/original_sim.h"
+#include "sim/presets.h"
+#include "sim/ptg_sim.h"
+
+using namespace mp;
+using namespace mp::sim;
+
+namespace {
+
+// Keep only the first `max_nodes` nodes so the Gantt stays readable.
+ptg::Trace clip_nodes(const ptg::Trace& in, int max_nodes) {
+  ptg::Trace out;
+  for (const auto& e : in.events()) {
+    if (e.rank < max_nodes) out.add(e);
+  }
+  return out;
+}
+
+void report(const char* title, ptg::Trace trace,
+            const std::vector<char>& glyphs, double makespan) {
+  trace.normalize();
+  std::printf("---- %s ----\n", title);
+  std::printf("makespan %.3fs | idle %.1f%% | startup idle %.3fs | "
+              "comm overlap (same thread) %.1f%%\n",
+              makespan, 100.0 * trace.idle_fraction(),
+              trace.mean_startup_idle(),
+              100.0 * trace.comm_overlap_same_worker_fraction());
+  std::printf("%s\n", clip_nodes(trace, 2).ascii_gantt(100, glyphs).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int nodes = argc > 1 ? std::atoi(argv[1]) : 32;
+  const int cores = 7;  // the paper's traces show 7 threads per node
+  const auto p = make_preset("beta_carotene_32");
+
+  std::printf("== Figures 10-13: execution traces, %d nodes x %d cores ==\n",
+              nodes, cores);
+  std::printf("glyphs: G=GEMM a/b=READ R=REDUCE S=SORT W=WRITE 0=DFILL "
+              "(PaRSEC) | ~=GET G=GEMM S=SORT w=ADD x=NXTVAL (original); "
+              "comm rows show transfers\n\n");
+
+  auto run_variant = [&](const tce::VariantConfig& v) {
+    GraphOptions gopts;
+    gopts.variant = v;
+    gopts.nodes = nodes;
+    const auto g = build_graph(p.plan, gopts);
+    SimOptions sopts;
+    sopts.cores_per_node = cores;
+    sopts.record_trace = true;
+    return simulate_ptg(g, sopts);
+  };
+
+  const auto v4 = run_variant(tce::VariantConfig::v4());
+  report("Fig. 10 analogue: v4 (priorities decrease with chain number)",
+         v4.trace, sim_class_glyphs(), v4.makespan);
+
+  const auto v2 = run_variant(tce::VariantConfig::v2());
+  report("Fig. 11 analogue: v2 (no task priorities)", v2.trace,
+         sim_class_glyphs(), v2.makespan);
+
+  OriginalSimOptions oopts;
+  oopts.nodes = nodes;
+  oopts.cores_per_node = cores;
+  oopts.record_trace = true;
+  const auto orig = simulate_original(p.plan, oopts);
+  report("Fig. 12/13 analogue: original NWChem code", orig.trace,
+         original_class_glyphs(), orig.makespan);
+
+  // The paper's qualitative readings of the figures:
+  ptg::Trace t2 = v2.trace, t4 = v4.trace, to = orig.trace;
+  t2.normalize();
+  t4.normalize();
+  to.normalize();
+  std::printf("-- trace signatures (measured vs paper) --\n");
+  std::printf("C7 idle fraction v2 vs v4 (7 cores): %.1f%% vs %.1f%% "
+              "(paper: v2 starves workers while transfers drain)\n",
+              100.0 * t2.idle_fraction(), 100.0 * t4.idle_fraction());
+  std::printf("C8 original same-thread overlap    : %.2f%% (paper: "
+              "communication is interleaved but never overlapped)\n",
+              100.0 * to.comm_overlap_same_worker_fraction());
+  std::printf("   PaRSEC v4 comm overlapped by compute on-node: %.1f%%\n",
+              100.0 * t4.comm_overlap_fraction());
+
+  // At machine saturation (15 cores/node) the missing priorities cost real
+  // time — the quantitative form of the Fig. 10/11 comparison.
+  auto run_at_15 = [&](const tce::VariantConfig& v) {
+    GraphOptions gopts;
+    gopts.variant = v;
+    gopts.nodes = nodes;
+    const auto g = build_graph(p.plan, gopts);
+    SimOptions sopts;
+    sopts.cores_per_node = 15;
+    return simulate_ptg(g, sopts).makespan;
+  };
+  const double m2 = run_at_15(tce::VariantConfig::v2());
+  const double m4 = run_at_15(tce::VariantConfig::v4());
+  std::printf("C7 makespan at 15 cores/node       : v2 %.3fs vs v4 %.3fs "
+              "(v2/v4 = %.2fx; paper: priorities are the single most "
+              "important choice after GEMM parallelism)\n",
+              m2, m4, m2 / m4);
+  std::printf("\nNote: in our model the no-priority penalty manifests as "
+              "scattered worker starvation through the run (visible as the "
+              "ragged tail above) rather than one contiguous startup "
+              "bubble; the cause — data transfers not ordered by what "
+              "compute needs next — is the paper's.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// CCSD end-to-end example: computes the CCSD correlation energy of two
+// model systems with the t2_7 particle-particle-ladder term evaluated
+// through the distributed PTG executor (variant v5), exactly the paper's
+// integration pattern — and cross-checks the result against the all-dense
+// iteration and, for a two-electron system, against full CI.
+//
+// Usage: ccsd_energy [nranks]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "cc/ccsd.h"
+#include "cc/integration.h"
+#include "cc/model.h"
+
+using namespace mp;
+using namespace mp::cc;
+
+namespace {
+
+void run_system(const char* title, const SpinOrbitalSystem& sys, int nranks,
+                bool fci_check) {
+  std::printf("---- %s ----\n", title);
+  std::printf("%d occupied + %d virtual spin orbitals\n", sys.n_occ(),
+              sys.n_virt());
+
+  // All-dense CCSD (the unmodified "NWChem").
+  const auto dense = run_ccsd(sys);
+  std::printf("MP2  correlation energy : %+.14f\n", dense.e_mp2);
+  std::printf("CCSD correlation energy : %+.14f  (%d iterations, dense)\n",
+              dense.e_corr, dense.iterations);
+
+  // CCSD with icsd_t2_7 running over the PTG runtime (paper Fig. 3).
+  DistributedLadder ladder(sys, /*tile_size=*/3, nranks);
+  LadderRunOptions lopts;
+  lopts.kind = ExecKind::kPtg;
+  lopts.variant = tce::VariantConfig::v5();
+  CcsdOptions copts;
+  copts.ladder = ladder.make_kernel(lopts);
+  const auto hybrid = run_ccsd(sys, copts);
+  std::printf("CCSD via PTG t2_7 (v5)  : %+.14f  (%d iterations, %zu "
+              "chains over %d ranks)\n",
+              hybrid.e_corr, hybrid.iterations, ladder.plan().chains.size(),
+              nranks);
+  std::printf("dense vs distributed    : |dE| = %.2e (paper: agreement to "
+              "the 14th digit)\n",
+              std::fabs(hybrid.e_corr - dense.e_corr));
+
+  if (fci_check) {
+    const double e_fci = fci_two_electron_energy(sys);
+    const double e_tot = sys.hf_energy() + hybrid.e_corr;
+    std::printf("FCI check (2 electrons) : E_FCI = %+.14f, E_HF+E_CCSD = "
+                "%+.14f, |diff| = %.2e\n",
+                e_fci, e_tot, std::fabs(e_fci - e_tot));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int nranks = argc > 1 ? std::atoi(argv[1]) : 2;
+
+  run_system("synthetic closed-shell molecule (weak coupling)",
+             make_synthetic(2, 4, 1.5, 0.1, 7), nranks, false);
+
+  run_system("pairing (Richardson) Hamiltonian, 5 levels / 2 pairs",
+             make_pairing(5, 2, 1.0, 0.35), nranks, false);
+
+  run_system("two-electron system (CCSD must equal FCI)",
+             make_synthetic(1, 5, 1.2, 0.15, 21), nranks, true);
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Interactive front end to the cluster simulator: pick a workload preset,
+// cluster shape and variant, get the simulated execution time, resource
+// breakdown, and an ASCII trace.
+//
+// Usage: cluster_sim [preset] [nodes] [cores] [variant|original]
+//   e.g.  cluster_sim beta_carotene_32 32 15 v5
+//         cluster_sim beta_carotene_32 32 7 original
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/original_sim.h"
+#include "sim/presets.h"
+#include "sim/ptg_sim.h"
+
+using namespace mp;
+using namespace mp::sim;
+
+int main(int argc, char** argv) {
+  const std::string preset = argc > 1 ? argv[1] : "beta_carotene_32";
+  const int nodes = argc > 2 ? std::atoi(argv[2]) : 32;
+  const int cores = argc > 3 ? std::atoi(argv[3]) : 15;
+  const std::string which = argc > 4 ? argv[4] : "v5";
+
+  const auto p = make_preset(preset);
+  std::printf("workload: %s\n  %s\n", p.description.c_str(),
+              p.plan.stats().describe().c_str());
+  std::printf("cluster : %d nodes x %d cores (+1 comm thread/node)\n\n",
+              nodes, cores);
+
+  if (which == "original") {
+    OriginalSimOptions opts;
+    opts.nodes = nodes;
+    opts.cores_per_node = cores;
+    opts.record_trace = true;
+    auto res = simulate_original(p.plan, opts);
+    res.trace.normalize();
+    std::printf("original TCE structure: makespan %.3fs\n", res.makespan);
+    std::printf("  compute %.1fs | blocked comm %.1fs | nxtval %.3fs | "
+                "idle %.1f%%\n",
+                res.compute_time, res.blocked_comm_time, res.nxtval_time,
+                100.0 * res.idle_fraction);
+    ptg::Trace clipped;
+    for (const auto& e : res.trace.events()) {
+      if (e.rank < 2) clipped.add(e);
+    }
+    std::printf("%s\n",
+                clipped.ascii_gantt(100, original_class_glyphs()).c_str());
+    return 0;
+  }
+
+  tce::VariantConfig variant;
+  bool found = false;
+  for (const auto& v : tce::VariantConfig::all()) {
+    if (v.name == which) {
+      variant = v;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr,
+                 "unknown variant '%s' (use v1..v5 or original)\n",
+                 which.c_str());
+    return 1;
+  }
+
+  GraphOptions gopts;
+  gopts.variant = variant;
+  gopts.nodes = nodes;
+  const auto g = build_graph(p.plan, gopts);
+  SimOptions sopts;
+  sopts.cores_per_node = cores;
+  sopts.record_trace = true;
+  auto res = simulate_ptg(g, sopts);
+  res.trace.normalize();
+
+  std::printf("PaRSEC %s: makespan %.3fs\n", variant.name.c_str(),
+              res.makespan);
+  std::printf("  core busy %.1fs | idle %.1f%% | NIC busy %.1fs | "
+              "mutex wait %.3fs | %llu transfers (%.2f GB)\n",
+              res.core_busy_time, 100.0 * res.idle_fraction,
+              res.comm_busy_time, res.mutex_wait_time,
+              static_cast<unsigned long long>(res.transfers),
+              res.bytes_transferred / 1e9);
+  const auto names = sim_class_names();
+  std::printf("  busy by class:");
+  for (size_t k = 0; k < names.size(); ++k) {
+    std::printf(" %s=%.2fs", names[k].c_str(), res.busy_by_kind[k]);
+  }
+  std::printf("\n\n");
+
+  ptg::Trace clipped;
+  for (const auto& e : res.trace.events()) {
+    if (e.rank < 2) clipped.add(e);
+  }
+  std::printf("%s\n", clipped.ascii_gantt(100, sim_class_glyphs()).c_str());
+  return 0;
+}

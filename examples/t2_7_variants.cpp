@@ -1,0 +1,88 @@
+// Variant explorer: runs the icsd_t2_7 kernel through every executor —
+// serial reference, original NXTVAL-style, and the five PaRSEC variants —
+// on the real runtime over the in-process cluster, printing the result
+// agreement and a trace-derived per-class task census for each variant
+// (the structures of the paper's Figures 4-7).
+//
+// Usage: t2_7_variants [nranks] [workers_per_rank]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "cc/ccsd.h"
+#include "cc/integration.h"
+#include "cc/model.h"
+
+using namespace mp;
+using namespace mp::cc;
+
+int main(int argc, char** argv) {
+  const int nranks = argc > 1 ? std::atoi(argv[1]) : 3;
+  const int workers = argc > 2 ? std::atoi(argv[2]) : 2;
+
+  const auto sys = make_synthetic(2, 5, 1.4, 0.12, 99);
+  DistributedLadder ladder(sys, /*tile_size=*/2, nranks);
+  std::printf("icsd_t2_7 on %d ranks x %d workers\n", nranks, workers);
+  std::printf("plan: %s\n\n", ladder.plan().stats().describe().c_str());
+
+  // MP2 tau as the input amplitudes.
+  const int O = sys.n_occ(), V = sys.n_virt();
+  std::vector<double> tau(static_cast<size_t>(V) * V * O * O);
+  for (int a = 0; a < V; ++a)
+    for (int b = 0; b < V; ++b)
+      for (int i = 0; i < O; ++i)
+        for (int j = 0; j < O; ++j) {
+          const double d =
+              sys.f(i) + sys.f(j) - sys.f(O + a) - sys.f(O + b);
+          tau[((static_cast<size_t>(a) * V + b) * O + i) * O + j] =
+              sys.v(i, j, O + a, O + b) / d;
+        }
+
+  std::vector<double> reference(tau.size(), 0.0);
+  dense_ladder(sys, tau, reference);
+
+  auto report = [&](const char* name, const LadderRunResult& res) {
+    double err = 0.0;
+    for (size_t i = 0; i < reference.size(); ++i) {
+      err = std::max(err, std::fabs(res.r_dense[i] - reference[i]));
+    }
+    std::map<std::string, int> census;
+    for (const auto& e : res.trace.events()) {
+      if (!e.is_comm && e.cls >= 0 &&
+          static_cast<size_t>(e.cls) < res.class_names.size()) {
+        census[res.class_names[static_cast<size_t>(e.cls)]]++;
+      }
+    }
+    std::printf("%-9s max|err|=%.2e  tasks=%llu  remote=%llu  ", name, err,
+                static_cast<unsigned long long>(res.tasks_executed),
+                static_cast<unsigned long long>(res.remote_activations));
+    for (const auto& [cls, n] : census) std::printf("%s:%d ", cls.c_str(), n);
+    std::printf("\n");
+  };
+
+  {
+    LadderRunOptions opts;
+    opts.kind = ExecKind::kReference;
+    report("reference", ladder.run(tau, opts));
+  }
+  {
+    LadderRunOptions opts;
+    opts.kind = ExecKind::kOriginal;
+    opts.workers_per_rank = workers;
+    opts.enable_tracing = true;
+    report("original", ladder.run(tau, opts));
+  }
+  for (const auto& variant : tce::VariantConfig::all()) {
+    LadderRunOptions opts;
+    opts.kind = ExecKind::kPtg;
+    opts.variant = variant;
+    opts.workers_per_rank = workers;
+    opts.enable_tracing = true;
+    report(variant.name.c_str(), ladder.run(tau, opts));
+  }
+
+  std::printf("\nEvery executor computes the same tensor (max|err| ~ 1e-15 "
+              "level): the paper's \"matched up to the 14th digit\".\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Export a simulated execution trace as JSON lines for external tooling —
+// the equivalent of PaRSEC's binary trace files that the paper's Figures
+// 10-13 were rendered from.
+//
+// Usage: trace_export [out.jsonl] [variant|original] [nodes] [cores]
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "sim/original_sim.h"
+#include "sim/presets.h"
+#include "sim/ptg_sim.h"
+
+using namespace mp;
+using namespace mp::sim;
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "trace.jsonl";
+  const std::string which = argc > 2 ? argv[2] : "v4";
+  const int nodes = argc > 3 ? std::atoi(argv[3]) : 8;
+  const int cores = argc > 4 ? std::atoi(argv[4]) : 7;
+
+  const auto p = make_preset("beta_carotene_32");
+  ptg::Trace trace;
+  std::vector<std::string> names;
+
+  if (which == "original") {
+    OriginalSimOptions opts;
+    opts.nodes = nodes;
+    opts.cores_per_node = cores;
+    opts.record_trace = true;
+    auto res = simulate_original(p.plan, opts);
+    trace = std::move(res.trace);
+    names = original_class_names();
+  } else {
+    tce::VariantConfig variant;
+    bool found = false;
+    for (const auto& v : tce::VariantConfig::all()) {
+      if (v.name == which) {
+        variant = v;
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown variant '%s'\n", which.c_str());
+      return 1;
+    }
+    GraphOptions gopts;
+    gopts.variant = variant;
+    gopts.nodes = nodes;
+    const auto g = build_graph(p.plan, gopts);
+    SimOptions sopts;
+    sopts.cores_per_node = cores;
+    sopts.record_trace = true;
+    auto res = simulate_ptg(g, sopts);
+    trace = std::move(res.trace);
+    names = sim_class_names();
+  }
+
+  trace.normalize();
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  trace.to_json(out, names);
+  std::printf("wrote %zu events (%s, %d nodes x %d cores, span %.3fs) to %s\n",
+              trace.size(), which.c_str(), nodes, cores, trace.span(),
+              path.c_str());
+  return 0;
+}

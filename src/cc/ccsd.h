@@ -1,0 +1,76 @@
+// Spin-orbital CCSD (singles and doubles) with Stanton-style intermediates,
+// MP2 initial guess and optional DIIS acceleration.
+//
+// This is the dense reference implementation of the CC iteration the paper
+// accelerates. The particle-particle ladder term
+//     1/2 sum_ef <ab||ef> tau^ef_ij
+// — NWChem's icsd_t2_7, the subroutine the paper ports to PaRSEC — is
+// factored out behind a LadderKernel hook: by default it is computed
+// densely in place, and the integration layer (cc/integration.h) swaps in
+// kernels that run it through the original-style or PTG executors instead,
+// mirroring exactly how the paper re-integrates the ported subroutine into
+// an otherwise unmodified NWChem.
+//
+// Dense tensor layouts (row-major):
+//   t1[a,i]        V x O
+//   t2[a,b,i,j]    V x V x O x O   (same layout as tce VVOO tensors)
+//   tau[e,f,i,j]   V x V x O x O
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cc/model.h"
+
+namespace mp::cc {
+
+/// Computes out[a,b,i,j] += 1/2 sum_ef <ef||ab> tau[e,f,i,j].
+/// `tau` and `out` are VVOO dense tensors.
+using LadderKernel =
+    std::function<void(const std::vector<double>& tau, std::vector<double>& out)>;
+
+struct CcsdOptions {
+  int max_iter = 100;
+  double tol = 1e-11;       ///< convergence on |dE| and amplitude rms
+  bool use_diis = true;
+  int diis_dim = 6;
+  /// CCD: keep the singles amplitudes at zero and iterate doubles only.
+  bool ccd_only = false;
+  /// Particle-particle ladder 1/2 sum_ef <ef||ab> tau^ef_ij (icsd_t2_7).
+  /// Empty = dense in-process evaluation.
+  LadderKernel ladder;
+  /// Hole-hole ladder 1/2 sum_mn <mn||ij> tau^ab_mn (the pure-integral
+  /// part of Wmnij) — the second ported subroutine. Empty = dense.
+  LadderKernel hh_ladder;
+  /// When set, replaces BOTH ladder terms with one kernel invocation —
+  /// used for fused multi-subroutine execution under a single runtime
+  /// context (the paper's future-work direction).
+  LadderKernel combined_ladders;
+};
+
+struct CcsdResult {
+  bool converged = false;
+  int iterations = 0;
+  double e_mp2 = 0.0;       ///< MP2 correlation energy (initial guess)
+  double e_corr = 0.0;      ///< CCSD correlation energy
+  std::vector<double> t1;
+  std::vector<double> t2;
+  std::vector<double> iteration_energies;  ///< E_corr after each iteration
+};
+
+CcsdResult run_ccsd(const SpinOrbitalSystem& sys, const CcsdOptions& opts = {});
+
+/// The dense ladder evaluations used when no kernel is injected; exposed
+/// for tests and for validating distributed kernels against them.
+/// out[a,b,i,j] += 1/2 sum_ef <ef||ab> tau[e,f,i,j].
+void dense_ladder(const SpinOrbitalSystem& sys, const std::vector<double>& tau,
+                  std::vector<double>& out);
+/// out[a,b,i,j] += 1/2 sum_mn <mn||ij> tau[a,b,m,n].
+void dense_hh_ladder(const SpinOrbitalSystem& sys,
+                     const std::vector<double>& tau,
+                     std::vector<double>& out);
+
+/// MP2 correlation energy in the canonical basis.
+double mp2_energy(const SpinOrbitalSystem& sys);
+
+}  // namespace mp::cc

@@ -1,0 +1,217 @@
+#include "cc/integration.h"
+
+#include <mutex>
+
+#include "support/error.h"
+
+namespace mp::cc {
+
+DistributedLadder::DistributedLadder(const SpinOrbitalSystem& sys,
+                                     int tile_size, int nranks)
+    : sys_(&sys) {
+  MP_REQUIRE(tile_size >= 1, "DistributedLadder: tile_size must be >= 1");
+  cluster_ = std::make_unique<vc::Cluster>(nranks);
+
+  tce::TileSpaceSpec spec;
+  spec.n_occ_alpha = sys.n_occ_alpha;
+  spec.n_occ_beta = sys.n_occ_beta;
+  spec.n_virt_alpha = sys.n_virt_alpha;
+  spec.n_virt_beta = sys.n_virt_beta;
+  spec.tile_size = tile_size;
+  space_ = std::make_unique<tce::TileSpace>(spec);
+
+  using tce::BlockTensor4;
+  using tce::RangeKind;
+  const std::array<RangeKind, 4> vvvv{RangeKind::kVirt, RangeKind::kVirt,
+                                      RangeKind::kVirt, RangeKind::kVirt};
+  const std::array<RangeKind, 4> vvoo{RangeKind::kVirt, RangeKind::kVirt,
+                                      RangeKind::kOcc, RangeKind::kOcc};
+  const std::array<RangeKind, 4> oooo{RangeKind::kOcc, RangeKind::kOcc,
+                                      RangeKind::kOcc, RangeKind::kOcc};
+  v_shape_ = std::make_unique<BlockTensor4>(*space_, vvvv);
+  t_shape_ = std::make_unique<BlockTensor4>(*space_, vvoo);
+  r_shape_ = std::make_unique<BlockTensor4>(*space_, vvoo, /*tri01=*/true,
+                                            /*tri23=*/true);
+  w_shape_ = std::make_unique<BlockTensor4>(*space_, oooo);
+
+  v_ga_ = std::make_unique<ga::GlobalArray>(cluster_.get(),
+                                            v_shape_->ga_size());
+  t_ga_ = std::make_unique<ga::GlobalArray>(cluster_.get(),
+                                            t_shape_->ga_size());
+  r_ga_ = std::make_unique<ga::GlobalArray>(cluster_.get(),
+                                            r_shape_->ga_size());
+  w_ga_ = std::make_unique<ga::GlobalArray>(cluster_.get(),
+                                            w_shape_->ga_size());
+
+  // Scatter the integral tensors once: v_dense[c,d,a,b] = <cd||ab> (all
+  // virtual) and w_dense[m,n,i,j] = <mn||ij> (all occupied).
+  const int O = sys.n_occ(), V = sys.n_virt();
+  {
+    std::vector<double> v_dense(static_cast<size_t>(V) * V * V * V);
+    size_t at = 0;
+    for (int c = 0; c < V; ++c)
+      for (int d = 0; d < V; ++d)
+        for (int a = 0; a < V; ++a)
+          for (int b = 0; b < V; ++b) {
+            v_dense[at++] = sys.v(O + c, O + d, O + a, O + b);
+          }
+    v_shape_->scatter_dense(v_dense, *v_ga_);
+  }
+  {
+    std::vector<double> w_dense(static_cast<size_t>(O) * O * O * O);
+    size_t at = 0;
+    for (int m = 0; m < O; ++m)
+      for (int n = 0; n < O; ++n)
+        for (int i = 0; i < O; ++i)
+          for (int j = 0; j < O; ++j) {
+            w_dense[at++] = sys.v(m, n, i, j);
+          }
+    w_shape_->scatter_dense(w_dense, *w_ga_);
+  }
+
+  // Inspection phase for both subroutines, plus the fused plan (the hh
+  // chains' A store becomes fused store 3; t and r are shared).
+  pp_plan_ = tce::inspect_t2_7(
+      *space_, {v_shape_.get(), t_shape_.get(), r_shape_.get()});
+  hh_plan_ = tce::inspect_hh_ladder(
+      *space_, {w_shape_.get(), t_shape_.get(), r_shape_.get()});
+  fused_plan_ = tce::fuse_plans(pp_plan_, hh_plan_, {3, 1, 2});
+}
+
+const tce::ChainPlan& DistributedLadder::plan(Contraction c) const {
+  switch (c) {
+    case Contraction::kT2_7: return pp_plan_;
+    case Contraction::kHhLadder: return hh_plan_;
+    case Contraction::kFused: return fused_plan_;
+  }
+  throw InvalidArgument("unknown contraction");
+}
+
+tce::StoreList DistributedLadder::stores_for(Contraction c) const {
+  const tce::TensorStore v{v_shape_.get(), v_ga_.get()};
+  const tce::TensorStore t{t_shape_.get(), t_ga_.get()};
+  const tce::TensorStore r{r_shape_.get(), r_ga_.get()};
+  const tce::TensorStore w{w_shape_.get(), w_ga_.get()};
+  switch (c) {
+    case Contraction::kT2_7: return {v, t, r};
+    case Contraction::kHhLadder: return {w, t, r};
+    case Contraction::kFused: return {v, t, r, w};
+  }
+  throw InvalidArgument("unknown contraction");
+}
+
+LadderRunResult DistributedLadder::run(const std::vector<double>& tau,
+                                       const LadderRunOptions& opts) {
+  t_shape_->scatter_dense(tau, *t_ga_);
+  r_ga_->zero();
+
+  const tce::ChainPlan& the_plan = plan(opts.contraction);
+  const tce::StoreList storage = stores_for(opts.contraction);
+
+  LadderRunResult result;
+  std::mutex merge_mu;
+
+  switch (opts.kind) {
+    case ExecKind::kReference:
+      tce::execute_reference(the_plan, storage);
+      break;
+    case ExecKind::kOriginal: {
+      ga::NxtVal nxtval(cluster_.get(), 1);
+      tce::OriginalExecOptions oopts;
+      oopts.workers_per_rank = opts.workers_per_rank;
+      oopts.enable_tracing = opts.enable_tracing;
+      cluster_->run([&](vc::RankCtx& rctx) {
+        ptg::Trace local;
+        tce::execute_original(rctx, the_plan, storage, nxtval, oopts,
+                              opts.enable_tracing ? &local : nullptr);
+        if (opts.enable_tracing) {
+          std::lock_guard lock(merge_mu);
+          result.trace.append(local);
+        }
+      });
+      result.class_names = {"GET", "GEMM", "SORT", "ADD", "NXTVAL"};
+      break;
+    }
+    case ExecKind::kPtg: {
+      tce::PtgExecOptions popts;
+      popts.variant = opts.variant;
+      popts.workers_per_rank = opts.workers_per_rank;
+      popts.enable_tracing = opts.enable_tracing;
+      cluster_->run([&](vc::RankCtx& rctx) {
+        auto res = tce::execute_ptg(rctx, the_plan, storage, popts);
+        std::lock_guard lock(merge_mu);
+        result.trace.append(res.trace);
+        result.tasks_executed += res.tasks_executed;
+        result.remote_activations += res.remote_activations;
+        if (result.class_names.empty()) result.class_names = res.class_names;
+      });
+      break;
+    }
+  }
+
+  result.trace.normalize();
+  result.r_dense = reconstruct_dense_residual(*space_, *r_shape_, *r_ga_);
+  return result;
+}
+
+LadderKernel DistributedLadder::make_kernel(LadderRunOptions opts) {
+  return [this, opts](const std::vector<double>& tau,
+                      std::vector<double>& out) {
+    const auto res = run(tau, opts);
+    MP_ASSERT(res.r_dense.size() == out.size(),
+              "distributed ladder produced wrong-size result");
+    for (size_t i = 0; i < out.size(); ++i) out[i] += res.r_dense[i];
+  };
+}
+
+std::vector<double> reconstruct_dense_residual(const tce::TileSpace& space,
+                                               const tce::BlockTensor4& r_shape,
+                                               const ga::GlobalArray& r_ga) {
+  const int O = space.n_occ(), V = space.n_virt();
+  std::vector<double> dense(static_cast<size_t>(V) * V * O * O, 0.0);
+  auto dense_at = [&](int a, int b, int i, int j) -> double& {
+    return dense[((static_cast<size_t>(a) * V + b) * O + i) * O + j];
+  };
+
+  const auto& vt = space.virt_tiles();
+  const auto& ot = space.occ_tiles();
+  std::vector<double> blk;
+  for (const uint64_t key : r_shape.index().keys()) {
+    const int ta = static_cast<int>((key >> 48) & 0xFFFF);
+    const int tb = static_cast<int>((key >> 32) & 0xFFFF);
+    const int ti = static_cast<int>((key >> 16) & 0xFFFF);
+    const int tj = static_cast<int>(key & 0xFFFF);
+    const auto bd = r_shape.block_dims(ta, tb, ti, tj);
+    blk.resize(bd[0] * bd[1] * bd[2] * bd[3]);
+    ga::get_hash_block(r_ga, r_shape.index(), key, blk.data());
+
+    // Blocks with coinciding tile pairs accumulated 2^d copies through the
+    // guarded sorts; divide the factor back out.
+    const int d = (ta == tb ? 1 : 0) + (ti == tj ? 1 : 0);
+    const double scale = 1.0 / static_cast<double>(1 << d);
+
+    const int oa = space.virt_dense_offset(ta), ob = space.virt_dense_offset(tb);
+    const int oi = space.occ_dense_offset(ti), oj = space.occ_dense_offset(tj);
+    (void)vt;
+    (void)ot;
+
+    size_t at = 0;
+    for (size_t xa = 0; xa < bd[0]; ++xa)
+      for (size_t xb = 0; xb < bd[1]; ++xb)
+        for (size_t xi = 0; xi < bd[2]; ++xi)
+          for (size_t xj = 0; xj < bd[3]; ++xj) {
+            const double val = blk[at++] * scale;
+            const int a = oa + static_cast<int>(xa);
+            const int b = ob + static_cast<int>(xb);
+            const int i = oi + static_cast<int>(xi);
+            const int j = oj + static_cast<int>(xj);
+            dense_at(a, b, i, j) = val;
+            if (ta != tb) dense_at(b, a, i, j) = -val;
+            if (ti != tj) dense_at(a, b, j, i) = -val;
+            if (ta != tb && ti != tj) dense_at(b, a, j, i) = val;
+          }
+  }
+  return dense;
+}
+
+}  // namespace mp::cc

@@ -1,0 +1,197 @@
+#include "cc/model.h"
+
+#include <cmath>
+
+#include "linalg/matrix.h"
+#include "linalg/solve.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace mp::cc {
+namespace {
+
+size_t eri_index(int n, int p, int q, int r, int s) {
+  return ((static_cast<size_t>(p) * n + static_cast<size_t>(q)) * n +
+          static_cast<size_t>(r)) *
+             n +
+         static_cast<size_t>(s);
+}
+
+/// Write <pq||rs> = v and the seven symmetry partners.
+void set_antisym(std::vector<double>* eri, int n, int p, int q, int r, int s,
+                 double v) {
+  (*eri)[eri_index(n, p, q, r, s)] = v;
+  (*eri)[eri_index(n, q, p, r, s)] = -v;
+  (*eri)[eri_index(n, p, q, s, r)] = -v;
+  (*eri)[eri_index(n, q, p, s, r)] = v;
+  (*eri)[eri_index(n, r, s, p, q)] = v;
+  (*eri)[eri_index(n, s, r, p, q)] = -v;
+  (*eri)[eri_index(n, r, s, q, p)] = -v;
+  (*eri)[eri_index(n, s, r, q, p)] = v;
+}
+
+}  // namespace
+
+int SpinOrbitalSystem::spin_of(int p) const {
+  if (p < n_occ()) return p < n_occ_alpha ? 0 : 1;
+  return (p - n_occ()) < n_virt_alpha ? 0 : 1;
+}
+
+double SpinOrbitalSystem::h(int p, int q) const {
+  double s = (p == q) ? f(p) : 0.0;
+  for (int i = 0; i < n_occ(); ++i) s -= v(p, i, q, i);
+  return s;
+}
+
+double SpinOrbitalSystem::hf_energy() const {
+  double e = 0.0;
+  for (int i = 0; i < n_occ(); ++i) {
+    e += h(i, i);
+    for (int j = 0; j < n_occ(); ++j) e += 0.5 * v(i, j, i, j);
+  }
+  return e;
+}
+
+void SpinOrbitalSystem::check_integrals() const {
+  const int n = n_spin_orbitals();
+  MP_REQUIRE(fock_diag.size() == static_cast<size_t>(n),
+             "SpinOrbitalSystem: fock_diag size mismatch");
+  MP_REQUIRE(eri.size() == static_cast<size_t>(n) * n * n * n,
+             "SpinOrbitalSystem: eri size mismatch");
+  for (int p = 0; p < n; ++p) {
+    for (int q = 0; q < n; ++q) {
+      for (int r = 0; r < n; ++r) {
+        for (int s = 0; s < n; ++s) {
+          const double x = v(p, q, r, s);
+          MP_REQUIRE(std::fabs(x + v(q, p, r, s)) < 1e-12,
+                     "ERI not antisymmetric in bra");
+          MP_REQUIRE(std::fabs(x + v(p, q, s, r)) < 1e-12,
+                     "ERI not antisymmetric in ket");
+          MP_REQUIRE(std::fabs(x - v(r, s, p, q)) < 1e-12,
+                     "ERI not hermitian");
+          if (spin_of(p) + spin_of(q) != spin_of(r) + spin_of(s)) {
+            MP_REQUIRE(x == 0.0, "ERI violates spin conservation");
+          }
+        }
+      }
+    }
+  }
+}
+
+SpinOrbitalSystem make_synthetic(int no_a, int nv_a, double gap,
+                                 double coupling, uint64_t seed) {
+  MP_REQUIRE(no_a >= 1 && nv_a >= 1, "make_synthetic: need orbitals");
+  MP_REQUIRE(gap > 0.0, "make_synthetic: gap must be positive");
+  SpinOrbitalSystem sys;
+  sys.n_occ_alpha = sys.n_occ_beta = no_a;
+  sys.n_virt_alpha = sys.n_virt_beta = nv_a;
+  const int n = sys.n_spin_orbitals();
+
+  // Closed shell: alpha and beta share spatial levels. Occupied levels
+  // descend from -1, virtuals ascend from +gap.
+  sys.fock_diag.resize(static_cast<size_t>(n));
+  for (int s = 0; s < 2; ++s) {
+    for (int i = 0; i < no_a; ++i) {
+      sys.fock_diag[static_cast<size_t>(s * no_a + i)] =
+          -1.0 - 0.17 * (no_a - 1 - i);
+    }
+    for (int a = 0; a < nv_a; ++a) {
+      sys.fock_diag[static_cast<size_t>(sys.n_occ() + s * nv_a + a)] =
+          gap - 1.0 + 0.23 * a;
+    }
+  }
+
+  sys.eri.assign(static_cast<size_t>(n) * n * n * n, 0.0);
+  Rng rng(seed);
+  for (int p = 0; p < n; ++p) {
+    for (int q = p + 1; q < n; ++q) {
+      for (int r = 0; r < n; ++r) {
+        for (int s = r + 1; s < n; ++s) {
+          // Enumerate canonical representatives once: (p<q), (r<s) and
+          // bra-pair <= ket-pair lexicographically.
+          if (std::make_pair(p, q) > std::make_pair(r, s)) continue;
+          if (sys.spin_of(p) + sys.spin_of(q) !=
+              sys.spin_of(r) + sys.spin_of(s)) {
+            continue;
+          }
+          const double val = coupling * rng.uniform(-1.0, 1.0);
+          set_antisym(&sys.eri, n, p, q, r, s, val);
+        }
+      }
+    }
+  }
+  return sys;
+}
+
+SpinOrbitalSystem make_pairing(int levels, int pairs, double delta, double g) {
+  MP_REQUIRE(levels >= 1 && pairs >= 1 && pairs < levels,
+             "make_pairing: need 1 <= pairs < levels");
+  SpinOrbitalSystem sys;
+  sys.n_occ_alpha = sys.n_occ_beta = pairs;
+  sys.n_virt_alpha = sys.n_virt_beta = levels - pairs;
+  const int n = sys.n_spin_orbitals();
+
+  // Global index of level l with spin s (alpha block first in each range).
+  auto so = [&](int level, int spin) {
+    if (level < pairs) return spin * pairs + level;  // occupied range
+    return sys.n_occ() + spin * (levels - pairs) + (level - pairs);
+  };
+
+  sys.eri.assign(static_cast<size_t>(n) * n * n * n, 0.0);
+  for (int p = 0; p < levels; ++p) {
+    for (int q = 0; q < levels; ++q) {
+      // Pair-hopping: <p_alpha p_beta || q_alpha q_beta> = -g.
+      const int pa = so(p, 0), pb = so(p, 1);
+      const int qa = so(q, 0), qb = so(q, 1);
+      // set_antisym writes both (pq|rs) and (rs|pq); enumerate p <= q so
+      // each pair of level pairs is written exactly once.
+      if (p > q) continue;
+      set_antisym(&sys.eri, n, pa, pb, qa, qb, -g);
+    }
+  }
+
+  // Fock diagonal: level spacing plus the pairing self-interaction for
+  // occupied levels (f_p = delta*p + <p sigma, p sigma'||...> summed over
+  // occupied partners; only the same-level pair term survives).
+  sys.fock_diag.resize(static_cast<size_t>(n));
+  for (int l = 0; l < levels; ++l) {
+    for (int s = 0; s < 2; ++s) {
+      double fval = delta * l;
+      if (l < pairs) fval += -g;  // <p up, p dn || p up, p dn> = -g
+      sys.fock_diag[static_cast<size_t>(so(l, s))] = fval;
+    }
+  }
+  return sys;
+}
+
+double fci_two_electron_energy(const SpinOrbitalSystem& sys) {
+  MP_REQUIRE(sys.n_occ() == 2, "fci_two_electron_energy: needs 2 electrons");
+  const int n = sys.n_spin_orbitals();
+
+  // Basis: ordered determinants |pq>, p < q.
+  std::vector<std::pair<int, int>> dets;
+  for (int p = 0; p < n; ++p) {
+    for (int q = p + 1; q < n; ++q) dets.emplace_back(p, q);
+  }
+  const size_t dim = dets.size();
+  linalg::Matrix H(dim, dim);
+  for (size_t a = 0; a < dim; ++a) {
+    const auto [p, q] = dets[a];
+    for (size_t b = a; b < dim; ++b) {
+      const auto [r, s] = dets[b];
+      // Two-electron Slater-Condon in first-quantized antisymmetrized form:
+      // <pq|H|rs> = h_pr d_qs - h_ps d_qr + h_qs d_pr - h_qr d_ps + <pq||rs>
+      double el = sys.v(p, q, r, s);
+      if (q == s) el += sys.h(p, r);
+      if (q == r) el -= sys.h(p, s);
+      if (p == r) el += sys.h(q, s);
+      if (p == s) el -= sys.h(q, r);
+      H(a, b) = el;
+      H(b, a) = el;
+    }
+  }
+  const auto evals = linalg::symmetric_eigenvalues(std::move(H));
+  return evals.front();
+}
+
+}  // namespace mp::cc

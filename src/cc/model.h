@@ -1,0 +1,80 @@
+// Model electronic-structure systems in a canonical spin-orbital basis.
+//
+// The paper runs CCSD on beta-carotene through NWChem's integral machinery;
+// we have no integral code or basis-set data, so we substitute model
+// Hamiltonians that exercise the identical CC equations (see DESIGN.md):
+//   * a synthetic closed-shell "molecule": diagonal Fock with a HOMO-LUMO
+//     gap plus weak random antisymmetrized two-electron integrals — the CC
+//     iteration converges for small coupling;
+//   * the pairing (Richardson) Hamiltonian, a standard coupled-cluster
+//     test system.
+// Spin-orbital ordering matches tce::TileSpace's dense layout: within the
+// occupied and virtual ranges, all alpha orbitals come before all beta.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mp::cc {
+
+struct SpinOrbitalSystem {
+  int n_occ_alpha = 0;
+  int n_occ_beta = 0;
+  int n_virt_alpha = 0;
+  int n_virt_beta = 0;
+
+  /// Diagonal of the Fock operator, length n_spin_orbitals(): occupied
+  /// orbitals first (alpha, then beta), then virtuals (alpha, then beta).
+  std::vector<double> fock_diag;
+
+  /// Antisymmetrized two-electron integrals <pq||rs>, dense N^4 row-major.
+  std::vector<double> eri;
+
+  int n_occ() const { return n_occ_alpha + n_occ_beta; }
+  int n_virt() const { return n_virt_alpha + n_virt_beta; }
+  int n_spin_orbitals() const { return n_occ() + n_virt(); }
+
+  double f(int p) const { return fock_diag[static_cast<size_t>(p)]; }
+
+  /// <pq||rs> with global spin-orbital indices.
+  double v(int p, int q, int r, int s) const {
+    const size_t n = static_cast<size_t>(n_spin_orbitals());
+    return eri[((static_cast<size_t>(p) * n + static_cast<size_t>(q)) * n +
+                static_cast<size_t>(r)) *
+                   n +
+               static_cast<size_t>(s)];
+  }
+
+  /// Spin of a global spin-orbital index (0 = alpha, 1 = beta).
+  int spin_of(int p) const;
+
+  /// One-electron integral h[p][q] implied by the diagonal Fock:
+  /// h = f - sum_i <pi||qi>. Needed only by the FCI checker.
+  double h(int p, int q) const;
+
+  /// Hartree-Fock reference energy implied by h and the ERIs.
+  double hf_energy() const;
+
+  /// Verify the antisymmetry/hermiticity/spin structure of the ERIs; throws
+  /// InvalidArgument on violation (used by tests and as a model self-check).
+  void check_integrals() const;
+};
+
+/// Closed-shell synthetic system: no_a occupied and nv_a virtual orbitals
+/// per spin. Occupied levels spread below 0, virtuals above `gap`. Random
+/// antisymmetrized ERIs of magnitude `coupling` (deterministic in `seed`).
+SpinOrbitalSystem make_synthetic(int no_a, int nv_a, double gap,
+                                 double coupling, uint64_t seed);
+
+/// Pairing (Richardson) Hamiltonian: `levels` doubly-degenerate levels with
+/// spacing `delta`, the lowest `pairs` levels filled, pair-hopping strength
+/// `g` (attractive for g > 0).
+SpinOrbitalSystem make_pairing(int levels, int pairs, double delta, double g);
+
+/// Exact ground-state energy by full CI for two-electron systems
+/// (n_occ() == 2). CCSD is exact for two electrons, so this provides an
+/// independent end-to-end check of the CC machinery.
+double fci_two_electron_energy(const SpinOrbitalSystem& sys);
+
+}  // namespace mp::cc

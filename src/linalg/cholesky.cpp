@@ -1,0 +1,61 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace mp::linalg {
+
+void potrf_lower(size_t n, double* a, size_t lda) {
+  for (size_t j = 0; j < n; ++j) {
+    double d = a[j * lda + j];
+    for (size_t k = 0; k < j; ++k) {
+      const double l = a[k * lda + j];
+      d -= l * l;
+    }
+    if (d <= 0.0) throw DataError("potrf: matrix not positive definite");
+    const double ljj = std::sqrt(d);
+    a[j * lda + j] = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double s = a[j * lda + i];
+      for (size_t k = 0; k < j; ++k) {
+        s -= a[k * lda + i] * a[k * lda + j];
+      }
+      a[j * lda + i] = s / ljj;
+    }
+    // Zero the strictly-upper part so tiles compose cleanly.
+    for (size_t i = 0; i < j; ++i) a[j * lda + i] = 0.0;
+  }
+}
+
+void trsm_rlt(size_t m, size_t n, const double* l, size_t ldl, double* b,
+              size_t ldb) {
+  // Solve X * L^T = B column by column of L (forward order): for each
+  // column j of the result, x_j = (b_j - sum_{k<j} x_k * L(j,k)) / L(j,j).
+  for (size_t j = 0; j < n; ++j) {
+    const double ljj = l[j * ldl + j];
+    MP_REQUIRE(ljj != 0.0, "trsm: singular triangular factor");
+    for (size_t i = 0; i < m; ++i) {
+      double s = b[j * ldb + i];
+      for (size_t k = 0; k < j; ++k) {
+        s -= b[k * ldb + i] * l[k * ldl + j];
+      }
+      b[j * ldb + i] = s / ljj;
+    }
+  }
+}
+
+void syrk_ln(size_t n, size_t k, const double* a, size_t lda, double* c,
+             size_t ldc) {
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t i = j; i < n; ++i) {  // lower triangle only
+      double s = 0.0;
+      for (size_t kk = 0; kk < k; ++kk) {
+        s += a[kk * lda + i] * a[kk * lda + j];
+      }
+      c[j * ldc + i] -= s;
+    }
+  }
+}
+
+}  // namespace mp::linalg

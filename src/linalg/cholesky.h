@@ -1,0 +1,28 @@
+// Unblocked LAPACK-style kernels for the tiled Cholesky example: PaRSEC
+// grew out of dense linear algebra (DPLASMA), so the repository includes a
+// DPLASMA-style tiled POTRF over the PTG runtime to demonstrate that the
+// runtime is not CC-specific. Column-major, lower-triangular convention.
+#pragma once
+
+#include <cstddef>
+
+namespace mp::linalg {
+
+/// In-place lower Cholesky of the n x n tile A (ld = lda): A = L * L^T,
+/// L written to the lower triangle. Throws DataError if A is not positive
+/// definite.
+void potrf_lower(size_t n, double* a, size_t lda);
+
+/// Triangular solve for the panel update: B <- B * L^-T, where L is the
+/// n x n lower-triangular tile of A and B is m x n (the DTRSM
+/// 'R','L','T','N' case of tiled POTRF).
+void trsm_rlt(size_t m, size_t n, const double* l, size_t ldl, double* b,
+              size_t ldb);
+
+/// Symmetric rank-k update of a diagonal tile: C <- C - A * A^T with
+/// C n x n (lower triangle referenced), A n x k (DSYRK 'L','N', alpha=-1,
+/// beta=1).
+void syrk_ln(size_t n, size_t k, const double* a, size_t lda, double* c,
+             size_t ldc);
+
+}  // namespace mp::linalg

@@ -1,0 +1,91 @@
+#include "linalg/gemm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/error.h"
+
+namespace mp::linalg {
+namespace {
+
+// Cache-block sizes: the packed A panel (kKc x kMc doubles) fits in L1/L2
+// comfortably on any post-2010 x86 core.
+constexpr size_t kMc = 64;
+constexpr size_t kKc = 128;
+
+// Packs a kMc x kKc block of op(A) into row-panel order so the inner kernel
+// streams it contiguously.
+void pack_a(bool trans, const double* a, size_t lda, size_t i0, size_t k0,
+            size_t mb, size_t kb, double* pack) {
+  for (size_t k = 0; k < kb; ++k) {
+    for (size_t i = 0; i < mb; ++i) {
+      // op(A)(i0+i, k0+k)
+      const double v = trans ? a[(i0 + i) * lda + (k0 + k)]
+                             : a[(k0 + k) * lda + (i0 + i)];
+      pack[k * mb + i] = v;
+    }
+  }
+}
+
+}  // namespace
+
+void dgemm(char transa, char transb, size_t m, size_t n, size_t k,
+           double alpha, const double* a, size_t lda, const double* b,
+           size_t ldb, double beta, double* c, size_t ldc) {
+  MP_REQUIRE(transa == 'N' || transa == 'T' || transa == 'n' || transa == 't',
+             "dgemm: bad transa");
+  MP_REQUIRE(transb == 'N' || transb == 'T' || transb == 'n' || transb == 't',
+             "dgemm: bad transb");
+  const bool ta = (transa == 'T' || transa == 't');
+  const bool tb = (transb == 'T' || transb == 't');
+  MP_DCHECK(ldc >= std::max<size_t>(1, m), "dgemm: ldc too small");
+
+  // Scale C by beta first (handles alpha == 0 and empty K too).
+  if (beta != 1.0) {
+    for (size_t j = 0; j < n; ++j) {
+      double* cj = c + j * ldc;
+      if (beta == 0.0) {
+        std::fill(cj, cj + m, 0.0);
+      } else {
+        for (size_t i = 0; i < m; ++i) cj[i] *= beta;
+      }
+    }
+  }
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
+
+  std::vector<double> pack(kMc * kKc);
+
+  for (size_t k0 = 0; k0 < k; k0 += kKc) {
+    const size_t kb = std::min(kKc, k - k0);
+    for (size_t i0 = 0; i0 < m; i0 += kMc) {
+      const size_t mb = std::min(kMc, m - i0);
+      pack_a(ta, a, lda, i0, k0, mb, kb, pack.data());
+      for (size_t j = 0; j < n; ++j) {
+        double* __restrict cj = c + j * ldc + i0;
+        for (size_t kk = 0; kk < kb; ++kk) {
+          // op(B)(k0+kk, j)
+          const double bkj = tb ? b[(k0 + kk) * ldb + j]  // B is n x k
+                                : b[j * ldb + (k0 + kk)];
+          const double w = alpha * bkj;
+          if (w == 0.0) continue;
+          const double* __restrict ap = pack.data() + kk * mb;
+          for (size_t i = 0; i < mb; ++i) cj[i] += w * ap[i];
+        }
+      }
+    }
+  }
+}
+
+void dfill(size_t n, double v, double* x) { std::fill(x, x + n, v); }
+
+void daxpy(size_t n, double alpha, const double* x, double* y) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+double ddot(size_t n, const double* x, const double* y) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+}  // namespace mp::linalg

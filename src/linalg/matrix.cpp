@@ -1,0 +1,23 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+namespace mp::linalg {
+
+double Matrix::norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
+  MP_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+             "max_abs_diff: shape mismatch");
+  double m = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return m;
+}
+
+}  // namespace mp::linalg

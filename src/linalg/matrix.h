@@ -1,0 +1,54 @@
+// Dense column-major matrix of doubles.
+//
+// Column-major is chosen to match the FORTRAN layout of the TCE-generated
+// NWChem code this project reproduces; the GEMM kernels below use the same
+// convention as the reference BLAS ('T'/'N' flags).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/error.h"
+
+namespace mp::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  double& operator()(size_t i, size_t j) {
+    MP_DCHECK(i < rows_ && j < cols_, "matrix index out of range");
+    return data_[j * rows_ + i];
+  }
+  double operator()(size_t i, size_t j) const {
+    MP_DCHECK(i < rows_ && j < cols_, "matrix index out of range");
+    return data_[j * rows_ + i];
+  }
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Frobenius norm.
+  double norm() const;
+
+  /// Max |a_ij - b_ij| between two same-shape matrices.
+  static double max_abs_diff(const Matrix& a, const Matrix& b);
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace mp::linalg

@@ -1,0 +1,100 @@
+#include "linalg/solve.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace mp::linalg {
+
+std::vector<double> solve_linear(Matrix a, std::vector<double> b) {
+  const size_t n = a.rows();
+  MP_REQUIRE(a.cols() == n, "solve_linear: matrix must be square");
+  MP_REQUIRE(b.size() == n, "solve_linear: rhs size mismatch");
+
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t piv = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a(r, col)) > std::fabs(a(piv, col))) piv = r;
+    }
+    if (std::fabs(a(piv, col)) < 1e-14) {
+      throw DataError("solve_linear: singular matrix");
+    }
+    if (piv != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a(col, c), a(piv, c));
+      std::swap(b[col], b[piv]);
+    }
+    const double inv = 1.0 / a(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) * inv;
+      if (f == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a(r, c) -= f * a(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (size_t ri = n; ri-- > 0;) {
+    double s = b[ri];
+    for (size_t c = ri + 1; c < n; ++c) s -= a(ri, c) * x[c];
+    x[ri] = s / a(ri, ri);
+  }
+  return x;
+}
+
+std::vector<double> symmetric_eigenvalues(Matrix a, Matrix* eigvecs) {
+  const size_t n = a.rows();
+  MP_REQUIRE(a.cols() == n, "symmetric_eigenvalues: matrix must be square");
+  Matrix v(n, n);
+  for (size_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    double off = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    }
+    if (off < 1e-24) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        if (std::fabs(a(p, q)) < 1e-18) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * a(p, q));
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return a(x, x) < a(y, y); });
+  std::vector<double> evals(n);
+  for (size_t i = 0; i < n; ++i) evals[i] = a(order[i], order[i]);
+  if (eigvecs) {
+    *eigvecs = Matrix(n, n);
+    for (size_t j = 0; j < n; ++j) {
+      for (size_t i = 0; i < n; ++i) (*eigvecs)(i, j) = v(i, order[j]);
+    }
+  }
+  return evals;
+}
+
+}  // namespace mp::linalg

@@ -1,0 +1,21 @@
+// Small dense linear algebra used by DIIS and the FCI checker: an in-place
+// Gaussian-elimination solver with partial pivoting, and a symmetric
+// eigensolver (Jacobi) adequate for the small matrices these produce.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace mp::linalg {
+
+/// Solve A x = b for dense square A (copy taken). Throws DataError if the
+/// matrix is numerically singular.
+std::vector<double> solve_linear(Matrix a, std::vector<double> b);
+
+/// Eigen-decomposition of a symmetric matrix by cyclic Jacobi rotations.
+/// Returns eigenvalues ascending; if eigvecs is non-null it receives the
+/// corresponding orthonormal eigenvectors as columns.
+std::vector<double> symmetric_eigenvalues(Matrix a, Matrix* eigvecs = nullptr);
+
+}  // namespace mp::linalg

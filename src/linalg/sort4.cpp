@@ -1,0 +1,82 @@
+#include "linalg/sort4.h"
+
+#include <array>
+
+#include "support/error.h"
+
+namespace mp::linalg {
+namespace {
+
+void check_perm(const std::array<int, 4>& perm) {
+  int seen = 0;
+  for (int p : perm) {
+    MP_REQUIRE(p >= 0 && p < 4, "sort_4: perm entry out of range");
+    seen |= 1 << p;
+  }
+  MP_REQUIRE(seen == 0xF, "sort_4: perm is not a permutation");
+}
+
+template <bool kAccumulate>
+void sort4_impl(const double* unsorted, double* sorted,
+                const std::array<size_t, 4>& dims,
+                const std::array<int, 4>& perm, double factor) {
+  check_perm(perm);
+
+  // Strides of the input axes in the input linearization.
+  std::array<size_t, 4> in_stride;
+  in_stride[3] = 1;
+  in_stride[2] = dims[3];
+  in_stride[1] = dims[3] * dims[2];
+  in_stride[0] = dims[3] * dims[2] * dims[1];
+
+  // Output dims follow the permutation; output strides likewise.
+  std::array<size_t, 4> odims;
+  for (int j = 0; j < 4; ++j) odims[j] = dims[static_cast<size_t>(perm[j])];
+  std::array<size_t, 4> out_stride_for_in{};  // stride of input axis a in output
+  {
+    std::array<size_t, 4> ostride;
+    ostride[3] = 1;
+    ostride[2] = odims[3];
+    ostride[1] = odims[3] * odims[2];
+    ostride[0] = odims[3] * odims[2] * odims[1];
+    for (int j = 0; j < 4; ++j) {
+      out_stride_for_in[static_cast<size_t>(perm[j])] = ostride[j];
+    }
+  }
+
+  for (size_t i0 = 0; i0 < dims[0]; ++i0) {
+    for (size_t i1 = 0; i1 < dims[1]; ++i1) {
+      for (size_t i2 = 0; i2 < dims[2]; ++i2) {
+        const double* in = unsorted + i0 * in_stride[0] + i1 * in_stride[1] +
+                           i2 * in_stride[2];
+        double* out_base = sorted + i0 * out_stride_for_in[0] +
+                           i1 * out_stride_for_in[1] +
+                           i2 * out_stride_for_in[2];
+        const size_t os3 = out_stride_for_in[3];
+        for (size_t i3 = 0; i3 < dims[3]; ++i3) {
+          if constexpr (kAccumulate) {
+            out_base[i3 * os3] += factor * in[i3];
+          } else {
+            out_base[i3 * os3] = factor * in[i3];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void sort_4(const double* unsorted, double* sorted,
+            const std::array<size_t, 4>& dims,
+            const std::array<int, 4>& perm, double factor) {
+  sort4_impl<false>(unsorted, sorted, dims, perm, factor);
+}
+
+void sort_4_acc(const double* unsorted, double* sorted,
+                const std::array<size_t, 4>& dims,
+                const std::array<int, 4>& perm, double factor) {
+  sort4_impl<true>(unsorted, sorted, dims, perm, factor);
+}
+
+}  // namespace mp::linalg

@@ -1,0 +1,36 @@
+// The TCE "SORT" kernels. Despite the name these perform no sorting: they
+// remap (permute) the indices of a dense 4-index block and scale it by a
+// factor, exactly like NWChem's tce_sort_4.
+//
+// Convention: the input block holds element (i1,i2,i3,i4) at linear offset
+//   ((i1*d2 + i2)*d3 + i3)*d4 + i4            (row-major over the 4 indices,
+// matching the FORTRAN code's explicit linearization). The permutation
+// p = {p[0],p[1],p[2],p[3]} states, for each output index position, which
+// input index it takes: output index j runs over input dimension p[j].
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace mp::linalg {
+
+/// sorted <- factor * permute(unsorted).
+/// dims are the extents of the *input* block; perm[j] in {0,1,2,3} selects
+/// which input axis becomes output axis j. perm must be a permutation.
+void sort_4(const double* unsorted, double* sorted,
+            const std::array<size_t, 4>& dims,
+            const std::array<int, 4>& perm, double factor);
+
+/// sorted += factor * permute(unsorted) (the accumulating flavour used when
+/// several guarded SORTs share one output buffer).
+void sort_4_acc(const double* unsorted, double* sorted,
+                const std::array<size_t, 4>& dims,
+                const std::array<int, 4>& perm, double factor);
+
+/// Number of elements moved by a sort_4 on a block of the given dims;
+/// used by the simulator's memory-bound cost model.
+inline size_t sort4_elems(const std::array<size_t, 4>& dims) {
+  return dims[0] * dims[1] * dims[2] * dims[3];
+}
+
+}  // namespace mp::linalg

@@ -1,0 +1,272 @@
+#include "ptg/context.h"
+
+#include <thread>
+
+#include "support/error.h"
+#include "support/log.h"
+#include "vc/message.h"
+
+namespace mp::ptg {
+
+using namespace std::chrono_literals;
+
+Context::Context(vc::RankCtx& rank_ctx, const Taskpool& pool, Options opts)
+    : rctx_(rank_ctx),
+      pool_(pool),
+      opts_(opts),
+      epoch_(std::chrono::steady_clock::now()) {
+  MP_REQUIRE(opts_.num_workers >= 1, "Context: need at least one worker");
+  pool_.validate();
+  sched_ = Scheduler::create(opts_.policy, opts_.num_workers);
+  worker_events_.resize(static_cast<size_t>(opts_.num_workers));
+}
+
+double Context::effective_priority(const TaskClass& c,
+                                   const Params& p) const {
+  if (!opts_.use_priorities || !c.priority) return 0.0;
+  return c.priority(p);
+}
+
+void Context::enumerate_startup() {
+  for (size_t ci = 0; ci < pool_.num_classes(); ++ci) {
+    const TaskClass& c = pool_.cls(static_cast<int16_t>(ci));
+    for (const Params& p : c.enumerate_rank(rank())) {
+      MP_DCHECK(c.rank_of(p) == rank(),
+                "enumerate_rank returned instance not owned by this rank");
+      ++expected_;
+      if (c.num_task_inputs(p) == 0) {
+        make_ready(TaskKey{c.cls, p}, {}, /*worker_hint=*/-1);
+      }
+    }
+  }
+}
+
+void Context::make_ready(const TaskKey& key, std::vector<DataBuf> inputs,
+                         int worker_hint) {
+  ReadyTask t;
+  t.key = key;
+  t.inputs = std::move(inputs);
+  t.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  t.priority = effective_priority(pool_.cls(key.cls), key.p);
+  sched_->push(std::move(t), worker_hint);
+  wake_cv_.notify_one();
+}
+
+void Context::deposit(const TaskKey& key, int slot, DataBuf buf) {
+  MP_REQUIRE(slot >= 0 && slot < 128, "deposit: bad input slot");
+  Shard& shard = shards_[TaskKeyHash{}(key) % kShards];
+  std::vector<DataBuf> ready_inputs;
+  {
+    std::lock_guard lock(shard.mu);
+    Pending& e = shard.map[key];
+    if (!e.initialized) {
+      e.threshold = pool_.cls(key.cls).num_task_inputs(key.p);
+      e.initialized = true;
+      MP_REQUIRE(e.threshold > 0,
+                 "deposit into a task class with no task inputs");
+    }
+    if (e.inputs.size() <= static_cast<size_t>(slot)) {
+      e.inputs.resize(static_cast<size_t>(slot) + 1);
+    }
+    MP_REQUIRE(e.inputs[static_cast<size_t>(slot)] == nullptr,
+               "double deposit into the same input slot");
+    e.inputs[static_cast<size_t>(slot)] = std::move(buf);
+    if (++e.arrived < e.threshold) return;
+    ready_inputs = std::move(e.inputs);
+    shard.map.erase(key);
+  }
+  make_ready(key, std::move(ready_inputs), /*worker_hint=*/-1);
+}
+
+void Context::execute_task(ReadyTask t, int wid) {
+  const TaskClass& c = pool_.cls(t.key.cls);
+  TaskCtx tctx(this, t.key, std::move(t.inputs), wid);
+
+  const double t0 = opts_.enable_tracing ? now() : 0.0;
+  c.body(tctx);
+  if (opts_.enable_tracing) {
+    worker_events_[static_cast<size_t>(wid)].push_back(
+        TraceEvent{rank(), wid, t.key.cls, t.key.p, t0, now(), false});
+  }
+
+  // Route outputs to consumers.
+  if (c.route_outputs) {
+    std::vector<OutRoute> routes;
+    c.route_outputs(t.key.p, routes);
+    for (const OutRoute& r : routes) {
+      const TaskClass& cc = pool_.cls(r.consumer.cls);
+      MP_REQUIRE(static_cast<size_t>(r.out_slot) < tctx.outputs().size() &&
+                     tctx.outputs()[static_cast<size_t>(r.out_slot)] != nullptr,
+                 "task '" + c.name + "' routed output slot " +
+                     std::to_string(r.out_slot) + " but never set it");
+      const DataBuf& buf = tctx.outputs()[static_cast<size_t>(r.out_slot)];
+      const int dst = cc.rank_of(r.consumer.p);
+      if (dst == rank()) {
+        deposit(r.consumer, r.in_slot, buf);
+      } else {
+        vc::WireWriter w;
+        w.put<int16_t>(r.consumer.cls);
+        for (int32_t x : r.consumer.p) w.put<int32_t>(x);
+        w.put<int8_t>(r.in_slot);
+        w.put_doubles(buf->data(), buf->size());
+        vc::Message m;
+        m.src = rank();
+        m.dst = dst;
+        m.tag = kTagActivate;
+        m.payload = w.take();
+        {
+          std::lock_guard lock(out_mu_);
+          outbox_.push_back(std::move(m));
+        }
+        remote_sent_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  if (executed_.fetch_add(1, std::memory_order_acq_rel) + 1 == expected_) {
+    done_.store(true, std::memory_order_release);
+    wake_cv_.notify_all();
+  }
+}
+
+void Context::record_error() {
+  {
+    std::lock_guard lock(error_mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  // Tell every other rank: their remaining tasks may depend on activations
+  // this rank will never send, so they must unwind too or the job
+  // deadlocks at scale.
+  if (!abort_broadcast_.exchange(true)) {
+    for (int r = 0; r < nranks(); ++r) {
+      if (r == rank()) continue;
+      rctx_.send(r, kTagAbort, {});
+    }
+  }
+  // Force a shutdown: remaining tasks will never run, but every thread
+  // must unwind cleanly so run() can rethrow.
+  done_.store(true, std::memory_order_release);
+  wake_cv_.notify_all();
+}
+
+void Context::worker_loop(int wid) {
+  ReadyTask t;
+  while (true) {
+    if (!done_.load(std::memory_order_acquire) && sched_->try_pop(t, wid)) {
+      try {
+        execute_task(std::move(t), wid);
+      } catch (...) {
+        record_error();
+        return;
+      }
+      continue;
+    }
+    if (done_.load(std::memory_order_acquire)) return;
+    std::unique_lock lock(wake_mu_);
+    wake_cv_.wait_for(lock, 200us, [&] {
+      return done_.load(std::memory_order_acquire) || sched_->size() > 0;
+    });
+  }
+}
+
+void Context::comm_loop() {
+  vc::Mailbox& mb = rctx_.mailbox();
+  while (true) {
+    // Drain the outbox: workers enqueue remote activations, the comm thread
+    // performs the actual transfers (the paper's dedicated comm core).
+    bool sent_any = false;
+    for (;;) {
+      vc::Message m;
+      {
+        std::lock_guard lock(out_mu_);
+        if (outbox_.empty()) break;
+        m = std::move(outbox_.front());
+        outbox_.pop_front();
+      }
+      const double t0 = opts_.enable_tracing ? now() : 0.0;
+      rctx_.send(m.dst, m.tag, std::move(m.payload));
+      if (opts_.enable_tracing) {
+        comm_events_.push_back(
+            TraceEvent{rank(), -1, -1, {0, 0, 0}, t0, now(), true});
+      }
+      sent_any = true;
+    }
+
+    // Poll for inbound activations.
+    auto msg = sent_any ? mb.try_pop() : mb.pop_wait(100us);
+    while (msg) {
+      if (msg->tag == kTagActivate) {
+        try {
+          vc::WireReader r(msg->payload);
+          TaskKey key;
+          key.cls = r.get<int16_t>();
+          for (auto& x : key.p) x = r.get<int32_t>();
+          const int slot = r.get<int8_t>();
+          auto data = std::make_shared<std::vector<double>>(r.get_doubles());
+          deposit(key, slot, std::move(data));
+        } catch (...) {
+          record_error();
+        }
+      } else if (msg->tag == kTagAbort) {
+        try {
+          throw StateError("PTG run aborted: task failure on rank " +
+                           std::to_string(msg->src));
+        } catch (...) {
+          record_error();
+        }
+      } else {
+        MP_LOG_WARN("comm thread: dropping message with unknown tag %d",
+                    msg->tag);
+      }
+      msg = mb.try_pop();
+    }
+
+    if (comm_stop_.load(std::memory_order_acquire)) {
+      std::lock_guard lock(out_mu_);
+      if (outbox_.empty()) return;
+    }
+  }
+}
+
+void Context::run() {
+  MP_REQUIRE(!ran_.exchange(true), "Context::run may only be called once");
+
+  enumerate_startup();
+  if (expected_ == 0) done_.store(true);
+
+  std::thread comm([this] { comm_loop(); });
+  std::vector<std::thread> workers;
+  for (int w = 1; w < opts_.num_workers; ++w) {
+    workers.emplace_back([this, w] { worker_loop(w); });
+  }
+  if (!done_.load()) {
+    worker_loop(0);  // the calling thread is worker 0
+  }
+  for (auto& t : workers) t.join();
+
+  comm_stop_.store(true, std::memory_order_release);
+  comm.join();
+
+  {
+    std::lock_guard lock(error_mu_);
+    if (first_error_) {
+      // Let the other ranks out of the final barrier before unwinding; the
+      // Cluster maps an unwinding rank to arrive_and_drop.
+      rctx_.barrier();
+      std::rethrow_exception(first_error_);
+    }
+  }
+
+  if (opts_.enable_tracing) {
+    for (auto& evs : worker_events_) {
+      for (const auto& e : evs) trace_.add(e);
+    }
+    for (const auto& e : comm_events_) trace_.add(e);
+  }
+
+  // All outputs flushed; synchronize the job before returning control to
+  // the embedding application (NWChem in the paper).
+  rctx_.barrier();
+}
+
+}  // namespace mp::ptg

@@ -1,0 +1,124 @@
+// The per-rank runtime context: PaRSEC's engine. Owns the worker threads
+// and the communication thread of one rank, tracks dependency arrivals per
+// task instance, schedules ready tasks by priority, ships output buffers to
+// remote consumers through the virtual-cluster fabric, and detects
+// termination (every locally-owned task instance executed).
+//
+// Usage (inside a vc::Cluster SPMD region):
+//   Taskpool pool;  ... add classes ...
+//   Context ctx(rank_ctx, pool, opts);
+//   ctx.run();      // collective; returns when the whole DAG has executed
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "ptg/scheduler.h"
+#include "ptg/taskpool.h"
+#include "ptg/trace.h"
+#include "vc/cluster.h"
+
+namespace mp::ptg {
+
+struct Options {
+  int num_workers = 2;            ///< compute threads per rank
+  SchedPolicy policy = SchedPolicy::kPriority;
+  bool use_priorities = true;     ///< false reproduces the paper's v2
+  bool enable_tracing = false;    ///< record TraceEvents for Figs. 10-13
+};
+
+class Context {
+ public:
+  /// Message tag used for dependency activations on the fabric.
+  static constexpr int kTagActivate = 101;
+  /// Broadcast when a rank aborts (task body threw): peers stop waiting
+  /// for activations that will never come and unwind too.
+  static constexpr int kTagAbort = 102;
+
+  Context(vc::RankCtx& rank_ctx, const Taskpool& pool, Options opts = {});
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  /// Execute the PTG to completion. Collective across ranks (ends with a
+  /// barrier). May be called once per Context.
+  void run();
+
+  int rank() const { return rctx_.rank(); }
+  int nranks() const { return rctx_.nranks(); }
+  const Options& options() const { return opts_; }
+
+  /// Post-run statistics.
+  uint64_t tasks_executed() const { return executed_.load(); }
+  uint64_t expected_tasks() const { return expected_; }
+  uint64_t remote_activations_sent() const { return remote_sent_.load(); }
+  uint64_t scheduler_steals() const { return sched_->steals(); }
+
+  /// Post-run trace of this rank (empty unless enable_tracing).
+  const Trace& trace() const { return trace_; }
+
+ private:
+  struct Pending {
+    std::vector<DataBuf> inputs;
+    int arrived = 0;
+    int threshold = 0;
+    bool initialized = false;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<TaskKey, Pending, TaskKeyHash> map;
+  };
+  static constexpr int kShards = 16;
+
+  void enumerate_startup();
+  void record_error();  ///< capture current exception, force shutdown
+  void worker_loop(int wid);
+  void comm_loop();
+  void deposit(const TaskKey& key, int slot, DataBuf buf);
+  void make_ready(const TaskKey& key, std::vector<DataBuf> inputs,
+                  int worker_hint);
+  void execute_task(ReadyTask t, int wid);
+  double effective_priority(const TaskClass& c, const Params& p) const;
+  double now() const {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  vc::RankCtx& rctx_;
+  const Taskpool& pool_;
+  Options opts_;
+  std::unique_ptr<Scheduler> sched_;
+
+  Shard shards_[kShards];
+  uint64_t expected_ = 0;
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<bool> done_{false};
+  std::atomic<bool> ran_{false};
+
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;
+  std::atomic<bool> abort_broadcast_{false};
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+
+  std::mutex out_mu_;
+  std::deque<vc::Message> outbox_;
+  std::atomic<uint64_t> remote_sent_{0};
+  std::atomic<bool> comm_stop_{false};
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::vector<TraceEvent>> worker_events_;
+  std::vector<TraceEvent> comm_events_;
+  Trace trace_;
+};
+
+}  // namespace mp::ptg

@@ -1,0 +1,149 @@
+#include "ptg/scheduler.h"
+
+#include <atomic>
+#include <mutex>
+#include <queue>
+
+#include "support/error.h"
+
+namespace mp::ptg {
+
+const char* to_string(SchedPolicy p) {
+  switch (p) {
+    case SchedPolicy::kPriority: return "priority";
+    case SchedPolicy::kFifo: return "fifo";
+    case SchedPolicy::kLifo: return "lifo";
+    case SchedPolicy::kStealing: return "stealing";
+  }
+  return "?";
+}
+
+namespace {
+
+// Ordering: highest priority first; among equals, policy decides by seq.
+struct Cmp {
+  bool lifo = false;
+  bool use_priority = true;
+  // Returns true when a is WORSE than b (so b pops first).
+  bool operator()(const ReadyTask& a, const ReadyTask& b) const {
+    if (use_priority && a.priority != b.priority) {
+      return a.priority < b.priority;
+    }
+    return lifo ? a.seq < b.seq : a.seq > b.seq;
+  }
+};
+
+using Queue = std::priority_queue<ReadyTask, std::vector<ReadyTask>, Cmp>;
+
+ReadyTask pop_top(Queue& q) {
+  // priority_queue::top() is const; moving out is safe because we pop
+  // immediately after and never observe the moved-from element.
+  ReadyTask t = std::move(const_cast<ReadyTask&>(q.top()));
+  q.pop();
+  return t;
+}
+
+class CentralScheduler final : public Scheduler {
+ public:
+  explicit CentralScheduler(Cmp cmp) : queue_(cmp) {}
+
+  void push(ReadyTask t, int /*worker*/) override {
+    std::lock_guard lock(mu_);
+    queue_.push(std::move(t));
+  }
+
+  bool try_pop(ReadyTask& out, int /*worker*/) override {
+    std::lock_guard lock(mu_);
+    if (queue_.empty()) return false;
+    out = pop_top(queue_);
+    return true;
+  }
+
+  size_t size() const override {
+    std::lock_guard lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Queue queue_;
+};
+
+class StealingScheduler final : public Scheduler {
+ public:
+  explicit StealingScheduler(int num_workers)
+      : shards_(static_cast<size_t>(num_workers)) {
+    MP_REQUIRE(num_workers >= 1, "StealingScheduler: need >= 1 worker");
+    for (auto& s : shards_) s = std::make_unique<Shard>();
+  }
+
+  void push(ReadyTask t, int worker) override {
+    const size_t home =
+        worker >= 0 ? static_cast<size_t>(worker) % shards_.size()
+                    : next_.fetch_add(1, std::memory_order_relaxed) %
+                          shards_.size();
+    std::lock_guard lock(shards_[home]->mu);
+    shards_[home]->queue.push(std::move(t));
+  }
+
+  bool try_pop(ReadyTask& out, int worker) override {
+    const size_t n = shards_.size();
+    const size_t me = worker >= 0 ? static_cast<size_t>(worker) % n : 0;
+    {
+      std::lock_guard lock(shards_[me]->mu);
+      if (!shards_[me]->queue.empty()) {
+        out = pop_top(shards_[me]->queue);
+        return true;
+      }
+    }
+    for (size_t i = 1; i < n; ++i) {
+      const size_t victim = (me + i) % n;
+      std::lock_guard lock(shards_[victim]->mu);
+      if (!shards_[victim]->queue.empty()) {
+        out = pop_top(shards_[victim]->queue);
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  size_t size() const override {
+    size_t total = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard lock(s->mu);
+      total += s->queue.size();
+    }
+    return total;
+  }
+
+  uint64_t steals() const override { return steals_.load(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    Queue queue{Cmp{false, true}};
+  };
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<size_t> next_{0};
+  std::atomic<uint64_t> steals_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> Scheduler::create(SchedPolicy policy,
+                                             int num_workers) {
+  switch (policy) {
+    case SchedPolicy::kPriority:
+      return std::make_unique<CentralScheduler>(Cmp{false, true});
+    case SchedPolicy::kFifo:
+      return std::make_unique<CentralScheduler>(Cmp{false, false});
+    case SchedPolicy::kLifo:
+      return std::make_unique<CentralScheduler>(Cmp{true, false});
+    case SchedPolicy::kStealing:
+      return std::make_unique<StealingScheduler>(num_workers);
+  }
+  throw InvalidArgument("unknown scheduler policy");
+}
+
+}  // namespace mp::ptg

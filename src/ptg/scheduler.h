@@ -1,0 +1,53 @@
+// Ready-task schedulers. The paper's PaRSEC default scheduler balances
+// several objectives and honours task priorities; we provide:
+//   kPriority — one shared priority queue (highest priority first, FIFO
+//               among equals). This is what all measured variants use; with
+//               every priority equal it degenerates to FIFO, which is
+//               exactly the paper's v2 behaviour.
+//   kFifo     — insertion order, priorities ignored.
+//   kLifo     — newest first (cache-friendly depth-first execution).
+//   kStealing — per-worker priority queues with work stealing, modelling
+//               PaRSEC's intra-node dynamic load balancing explicitly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ptg/types.h"
+
+namespace mp::ptg {
+
+struct ReadyTask {
+  double priority = 0.0;
+  uint64_t seq = 0;  ///< global insertion order, for deterministic ties
+  TaskKey key;
+  std::vector<DataBuf> inputs;
+};
+
+enum class SchedPolicy { kPriority, kFifo, kLifo, kStealing };
+
+const char* to_string(SchedPolicy p);
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Enqueue a ready task. `worker` is the id of the pushing worker, or -1
+  /// when pushed by the comm thread / startup enumeration.
+  virtual void push(ReadyTask t, int worker) = 0;
+
+  /// Dequeue the best task for `worker`; false if none available anywhere.
+  virtual bool try_pop(ReadyTask& out, int worker) = 0;
+
+  /// Approximate number of queued tasks (for stats/tests).
+  virtual size_t size() const = 0;
+
+  /// Number of successful steals (kStealing only; 0 otherwise).
+  virtual uint64_t steals() const { return 0; }
+
+  static std::unique_ptr<Scheduler> create(SchedPolicy policy,
+                                           int num_workers);
+};
+
+}  // namespace mp::ptg

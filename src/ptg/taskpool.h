@@ -1,0 +1,115 @@
+// The Taskpool is our Parameterized Task Graph: a set of task classes whose
+// instances, dataflow and placement are given *symbolically* as functions of
+// the task parameters — nothing is materialized up front. This mirrors the
+// PTG abstraction of the paper (Fig. 1): the runtime evaluates
+//   rank_of(p)        — the ":" placement line,
+//   priority(p)       — the ";" priority line,
+//   num_task_inputs(p)— how many input flows arrive from other tasks,
+//   route_outputs(p)  — the "->" dataflow lines,
+// on demand, per instance. Inputs a task fetches itself (e.g. READ tasks
+// pulling from a Global Array inside their body) are *not* task inputs.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ptg/types.h"
+
+namespace mp::ptg {
+
+class Context;
+
+/// Execution-time view handed to a task body.
+class TaskCtx {
+ public:
+  TaskCtx(Context* rt, TaskKey key, std::vector<DataBuf> inputs, int worker)
+      : rt_(rt), key_(key), inputs_(std::move(inputs)), worker_(worker) {}
+
+  const TaskKey& key() const { return key_; }
+  const Params& params() const { return key_.p; }
+  int worker() const { return worker_; }
+
+  /// Input buffer deposited into `slot` by a predecessor task.
+  const DataBuf& input(int slot) const;
+
+  /// Take ownership of an input buffer (valid when this task is the flow's
+  /// only consumer, e.g. the RW chain flow of matrix C).
+  DataBuf take_input(int slot);
+
+  /// Publish an output buffer; the runtime routes it per route_outputs().
+  void set_output(int slot, DataBuf buf);
+
+  /// The runtime context executing this task (rank id, tracing, ...).
+  Context& runtime() const { return *rt_; }
+
+  // -- used by the runtime after the body returns --
+  std::vector<DataBuf>& outputs() { return outputs_; }
+
+ private:
+  Context* rt_;
+  TaskKey key_;
+  std::vector<DataBuf> inputs_;
+  std::vector<DataBuf> outputs_;
+  int worker_;
+};
+
+/// Symbolic description of one task class.
+struct TaskClass {
+  std::string name;
+  int16_t cls = -1;
+
+  /// Placement: which rank owns (executes) instance p. Required.
+  std::function<int(const Params&)> rank_of;
+
+  /// Relative priority of instance p; higher runs first among ready tasks.
+  /// Optional — defaults to 0 (no priority), the paper's v2 configuration.
+  std::function<double(const Params&)> priority;
+
+  /// Number of input slots filled by predecessor tasks (the activation
+  /// threshold). Instances with 0 task inputs are startup tasks. Required.
+  std::function<int(const Params&)> num_task_inputs;
+
+  /// Dataflow: append one OutRoute per "->" edge of instance p. Optional —
+  /// sink tasks (e.g. WRITE_C) route nothing.
+  std::function<void(const Params&, std::vector<OutRoute>&)> route_outputs;
+
+  /// All instances of this class owned by `rank`. Used to compute the
+  /// per-rank task count for termination detection and to seed startup
+  /// tasks. Required.
+  std::function<std::vector<Params>(int rank)> enumerate_rank;
+
+  /// The task body. Required.
+  std::function<void(TaskCtx&)> body;
+};
+
+/// A complete PTG: an ordered set of task classes. Class ids are assigned
+/// densely in registration order.
+class Taskpool {
+ public:
+  /// Register a class; fills in tc.cls and returns it.
+  int16_t add_class(TaskClass tc);
+
+  const TaskClass& cls(int16_t id) const;
+
+  /// Mutable access, for wiring route_outputs between classes whose ids are
+  /// only known after registration (dataflow cycles in the *description*,
+  /// not in the DAG).
+  TaskClass& mutable_cls(int16_t id) {
+    return const_cast<TaskClass&>(static_cast<const Taskpool*>(this)->cls(id));
+  }
+
+  size_t num_classes() const { return classes_.size(); }
+
+  /// Find a class id by name; -1 if absent.
+  int16_t find(const std::string& name) const;
+
+  /// Validate that every registered class has its required functions.
+  /// Throws InvalidArgument describing the first problem found.
+  void validate() const;
+
+ private:
+  std::vector<TaskClass> classes_;
+};
+
+}  // namespace mp::ptg

@@ -1,0 +1,236 @@
+#include "ptg/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "support/error.h"
+
+namespace mp::ptg {
+
+void Trace::append(const Trace& other) {
+  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+}
+
+void Trace::normalize() {
+  if (events_.empty()) return;
+  double t0 = std::numeric_limits<double>::infinity();
+  for (const auto& e : events_) t0 = std::min(t0, e.t_start);
+  for (auto& e : events_) {
+    e.t_start -= t0;
+    e.t_end -= t0;
+  }
+}
+
+double Trace::span() const {
+  if (events_.empty()) return 0.0;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& e : events_) {
+    lo = std::min(lo, e.t_start);
+    hi = std::max(hi, e.t_end);
+  }
+  return hi - lo;
+}
+
+double Trace::busy_time() const {
+  double s = 0.0;
+  for (const auto& e : events_) s += e.t_end - e.t_start;
+  return s;
+}
+
+size_t Trace::num_rows() const {
+  std::set<std::pair<int, int>> rows;
+  for (const auto& e : events_) rows.insert({e.rank, e.worker});
+  return rows.size();
+}
+
+double Trace::idle_fraction() const {
+  const double sp = span();
+  const size_t rows = num_rows();
+  if (sp <= 0.0 || rows == 0) return 0.0;
+  // Busy time as the union of intervals per row: events on the same row
+  // may overlap (e.g. concurrent transfers on a comm-thread row) and must
+  // not be double-counted.
+  std::map<std::pair<int, int>, std::vector<std::pair<double, double>>>
+      per_row;
+  for (const auto& e : events_) {
+    per_row[{e.rank, e.worker}].emplace_back(e.t_start, e.t_end);
+  }
+  double busy = 0.0;
+  for (auto& [row, ivals] : per_row) {
+    std::sort(ivals.begin(), ivals.end());
+    double cur_lo = ivals.front().first, cur_hi = ivals.front().second;
+    for (const auto& [lo, hi] : ivals) {
+      if (lo > cur_hi) {
+        busy += cur_hi - cur_lo;
+        cur_lo = lo;
+        cur_hi = hi;
+      } else {
+        cur_hi = std::max(cur_hi, hi);
+      }
+    }
+    busy += cur_hi - cur_lo;
+  }
+  return 1.0 - busy / (sp * static_cast<double>(rows));
+}
+
+double Trace::mean_startup_idle() const {
+  if (events_.empty()) return 0.0;
+  double t0 = std::numeric_limits<double>::infinity();
+  std::map<std::pair<int, int>, double> first;
+  for (const auto& e : events_) {
+    t0 = std::min(t0, e.t_start);
+    const auto row = std::make_pair(e.rank, e.worker);
+    const auto it = first.find(row);
+    if (it == first.end() || e.t_start < it->second) first[row] = e.t_start;
+  }
+  double acc = 0.0;
+  for (const auto& [row, t] : first) acc += t - t0;
+  return acc / static_cast<double>(first.size());
+}
+
+std::map<int16_t, double> Trace::time_by_class() const {
+  std::map<int16_t, double> out;
+  for (const auto& e : events_) out[e.cls] += e.t_end - e.t_start;
+  return out;
+}
+
+double Trace::comm_overlap_fraction() const {
+  // Collect compute intervals per rank, then measure each comm event's
+  // coverage by the union of same-rank compute intervals.
+  std::map<int, std::vector<std::pair<double, double>>> compute;
+  for (const auto& e : events_) {
+    if (!e.is_comm) compute[e.rank].emplace_back(e.t_start, e.t_end);
+  }
+  for (auto& [rank, ivals] : compute) {
+    std::sort(ivals.begin(), ivals.end());
+    // Merge into disjoint intervals.
+    std::vector<std::pair<double, double>> merged;
+    for (const auto& iv : ivals) {
+      if (!merged.empty() && iv.first <= merged.back().second) {
+        merged.back().second = std::max(merged.back().second, iv.second);
+      } else {
+        merged.push_back(iv);
+      }
+    }
+    ivals = std::move(merged);
+  }
+
+  double comm_total = 0.0, comm_covered = 0.0;
+  for (const auto& e : events_) {
+    if (!e.is_comm) continue;
+    comm_total += e.t_end - e.t_start;
+    const auto it = compute.find(e.rank);
+    if (it == compute.end()) continue;
+    for (const auto& [lo, hi] : it->second) {
+      const double a = std::max(lo, e.t_start);
+      const double b = std::min(hi, e.t_end);
+      if (b > a) comm_covered += b - a;
+    }
+  }
+  if (comm_total <= 0.0) return 0.0;
+  return comm_covered / comm_total;
+}
+
+double Trace::comm_overlap_same_worker_fraction() const {
+  std::map<std::pair<int, int>, std::vector<std::pair<double, double>>>
+      compute;
+  for (const auto& e : events_) {
+    if (!e.is_comm) compute[{e.rank, e.worker}].emplace_back(e.t_start, e.t_end);
+  }
+  for (auto& [row, ivals] : compute) std::sort(ivals.begin(), ivals.end());
+
+  double comm_total = 0.0, comm_covered = 0.0;
+  for (const auto& e : events_) {
+    if (!e.is_comm) continue;
+    comm_total += e.t_end - e.t_start;
+    const auto it = compute.find({e.rank, e.worker});
+    if (it == compute.end()) continue;
+    for (const auto& [lo, hi] : it->second) {
+      const double a = std::max(lo, e.t_start);
+      const double b = std::min(hi, e.t_end);
+      if (b > a) comm_covered += b - a;
+    }
+  }
+  return comm_total > 0.0 ? comm_covered / comm_total : 0.0;
+}
+
+std::string Trace::ascii_gantt(int width,
+                               const std::vector<char>& glyphs) const {
+  MP_REQUIRE(width > 0, "ascii_gantt: width must be positive");
+  if (events_.empty()) return "(empty trace)\n";
+
+  double t0 = std::numeric_limits<double>::infinity();
+  double t1 = -std::numeric_limits<double>::infinity();
+  std::set<std::pair<int, int>> row_set;
+  for (const auto& e : events_) {
+    t0 = std::min(t0, e.t_start);
+    t1 = std::max(t1, e.t_end);
+    row_set.insert({e.rank, e.worker});
+  }
+  const double sp = std::max(t1 - t0, 1e-12);
+  std::vector<std::pair<int, int>> rows(row_set.begin(), row_set.end());
+
+  // For each cell keep the class covering it the longest.
+  const size_t w = static_cast<size_t>(width);
+  std::vector<std::vector<double>> coverage(rows.size(),
+                                            std::vector<double>(w, 0.0));
+  std::vector<std::string> grid(rows.size(), std::string(w, '.'));
+  for (const auto& e : events_) {
+    const size_t row = static_cast<size_t>(
+        std::lower_bound(rows.begin(), rows.end(),
+                         std::make_pair(e.rank, e.worker)) -
+        rows.begin());
+    const double fs = (e.t_start - t0) / sp * static_cast<double>(width);
+    const double fe = (e.t_end - t0) / sp * static_cast<double>(width);
+    const size_t cs = static_cast<size_t>(std::clamp<double>(fs, 0, width - 1));
+    const size_t ce = static_cast<size_t>(std::clamp<double>(fe, 0, width - 1));
+    const char g = (e.cls >= 0 && static_cast<size_t>(e.cls) < glyphs.size())
+                       ? glyphs[static_cast<size_t>(e.cls)]
+                       : (e.is_comm ? '~' : '#');
+    for (size_t c = cs; c <= ce; ++c) {
+      const double cell_lo = t0 + static_cast<double>(c) / width * sp;
+      const double cell_hi = t0 + static_cast<double>(c + 1) / width * sp;
+      const double cov = std::min(cell_hi, e.t_end) -
+                         std::max(cell_lo, e.t_start);
+      if (cov > coverage[row][c]) {
+        coverage[row][c] = cov;
+        grid[row][c] = g;
+      }
+    }
+  }
+
+  std::string out;
+  int last_rank = std::numeric_limits<int>::min();
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].first != last_rank) {
+      last_rank = rows[r].first;
+      out += "node " + std::to_string(last_rank) + ":\n";
+    }
+    std::string label = rows[r].second < 0
+                            ? std::string("comm")
+                            : "w" + std::to_string(rows[r].second);
+    label.resize(6, ' ');
+    out += "  " + label + "|" + grid[r] + "|\n";
+  }
+  return out;
+}
+
+void Trace::to_json(std::ostream& os,
+                    const std::vector<std::string>& class_names) const {
+  for (const auto& e : events_) {
+    const std::string name =
+        (e.cls >= 0 && static_cast<size_t>(e.cls) < class_names.size())
+            ? class_names[static_cast<size_t>(e.cls)]
+            : (e.is_comm ? "comm" : "unknown");
+    os << "{\"rank\":" << e.rank << ",\"worker\":" << e.worker
+       << ",\"class\":\"" << name << "\",\"params\":[" << e.p[0] << ","
+       << e.p[1] << "," << e.p[2] << "],\"start\":" << e.t_start
+       << ",\"end\":" << e.t_end << ",\"comm\":" << (e.is_comm ? 1 : 0)
+       << "}\n";
+  }
+}
+
+}  // namespace mp::ptg

@@ -1,0 +1,86 @@
+// Execution tracing, the stand-in for PaRSEC's native performance
+// instrumentation module used to produce the paper's Figures 10-13. Both
+// the real runtime (src/ptg) and the discrete-event simulator (src/sim)
+// emit the same TraceEvent records, so the same analysis and rendering
+// works for either. Like the paper, arbitrary (non-PTG) code can also be
+// instrumented by pushing events by hand — the original-NWChem executor
+// does exactly that to produce the Fig. 12/13 analogue.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "ptg/types.h"
+
+namespace mp::ptg {
+
+struct TraceEvent {
+  int rank = 0;
+  int worker = 0;  ///< worker thread id within the rank; -1 = comm thread
+  int16_t cls = -1;
+  Params p{0, 0, 0};
+  double t_start = 0.0;  ///< seconds
+  double t_end = 0.0;
+  bool is_comm = false;  ///< true for data-transfer / blocking-get events
+};
+
+class Trace {
+ public:
+  void add(TraceEvent e) { events_.push_back(e); }
+  void append(const Trace& other);
+  void clear() { events_.clear(); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// Shift all timestamps so the earliest start is 0.
+  void normalize();
+
+  /// Wall span [min start, max end] in seconds (0 if empty).
+  double span() const;
+
+  /// Sum of event durations (busy time across all rows).
+  double busy_time() const;
+
+  /// Distinct (rank, worker) rows present in the trace.
+  size_t num_rows() const;
+
+  /// 1 - busy/(span * rows): the grey area of the paper's trace figures.
+  double idle_fraction() const;
+
+  /// Mean over rows of the first event's start time — large for the
+  /// paper's v2 (startup communication flood), small for v4.
+  double mean_startup_idle() const;
+
+  /// Busy seconds per class id.
+  std::map<int16_t, double> time_by_class() const;
+
+  /// Fraction of communication-event time during which at least one
+  /// same-rank worker is executing a compute event. ~0 for the original
+  /// NWChem structure (C8), high for prioritized PaRSEC variants (C7).
+  double comm_overlap_fraction() const;
+
+  /// Same, but only counting compute on the *same* (rank, worker) row as
+  /// the comm event. Structurally zero for the original code's sequential
+  /// GET->GEMM timeline; meaningful for schedulers that interleave within
+  /// a thread.
+  double comm_overlap_same_worker_fraction() const;
+
+  /// Render an ASCII Gantt chart: one row per (rank, worker), `width`
+  /// character-columns over the full span. glyphs[cls] is the mark for a
+  /// class ('.' = idle). Rows are grouped by rank like Figs. 10-12.
+  std::string ascii_gantt(int width, const std::vector<char>& glyphs) const;
+
+  /// Dump as JSON lines (one event per line) for external tooling.
+  void to_json(std::ostream& os,
+               const std::vector<std::string>& class_names) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace mp::ptg

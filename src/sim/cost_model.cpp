@@ -1,0 +1,4 @@
+#include "sim/cost_model.h"
+
+// Currently header-only; this TU anchors the library target and reserves a
+// home for future calibration loaders.

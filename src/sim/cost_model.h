@@ -1,0 +1,75 @@
+// Cost model for the discrete-event cluster simulator.
+//
+// Default constants approximate the paper's testbed — PNNL Cascade
+// (Xeon E5-2670v2-class nodes, FDR InfiniBand) — at the granularity the
+// simulation needs: per-core GEMM throughput, per-core streaming bandwidth
+// for the memory-bound SORT/WRITE/reduction kernels, NIC bandwidth and
+// latency, per-message communication-thread overhead, runtime per-task
+// overhead, mutex cost, and the NXTVAL counter's round-trip and
+// serialization costs. The microbenchmarks in bench/bench_kernels.cpp
+// measure the compute-side numbers on the host so the model can be
+// re-calibrated (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstddef>
+
+namespace mp::sim {
+
+struct CostModel {
+  // --- compute ---
+  double gemm_flops_per_sec = 10e9;   ///< per-core sustained dgemm rate
+  double gemm_overhead_s = 8e-6;      ///< kernel launch / loop setup
+  double mem_bw_Bps = 5e9;            ///< per-core streaming bandwidth
+  /// Effective node-level bandwidth under the strided access patterns of
+  /// SORT/accumulate (well below the STREAM number of the socket).
+  double node_mem_bw_Bps = 16e9;
+  double sort_overhead_s = 4e-6;
+  double task_overhead_s = 3e-6;      ///< runtime scheduling cost per task
+
+  // --- network ---
+  double net_latency_s = 2.5e-6;      ///< one-way latency
+  /// Effective per-direction NIC bandwidth (protocol + GA overheads leave
+  /// well under the QDR/FDR line rate).
+  double net_bw_Bps = 2.0e9;
+  double comm_msg_overhead_s = 1.5e-6;///< comm-thread handling per message
+  /// Messages above this size use the rendezvous protocol: an extra
+  /// request/acknowledge round trip before the payload moves.
+  double eager_limit_bytes = 8192.0;
+
+  // --- accelerators (the paper's "hybrid architectures" future work) ---
+  /// Accelerators per node; 0 disables offload.
+  int accels_per_node = 0;
+  double accel_flops_per_sec = 120e9;   ///< per-device sustained dgemm
+  double accel_pcie_bw_Bps = 6e9;       ///< host<->device transfer
+  double accel_launch_overhead_s = 1e-5;
+  /// Only GEMMs at least this large are worth offloading.
+  double accel_offload_threshold_flops = 5e7;
+
+  // --- synchronization ---
+  double mutex_cycle_s = 1.2e-6;      ///< lock+unlock of the node mutex
+  double nxtval_rtt_s = 5e-6;         ///< round trip to the counter host
+  double nxtval_service_s = 1.0e-6;   ///< serialization at the counter
+
+  // --- derived helpers ---
+  /// Socket contention: when `cores` each demand mem_bw_Bps but the node
+  /// only sustains node_mem_bw_Bps, every memory-bound operation slows by
+  /// this factor. This is what bends the curves past ~8 cores/node.
+  double mem_contention(int cores) const {
+    const double demand = static_cast<double>(cores) * mem_bw_Bps;
+    return demand > node_mem_bw_Bps ? demand / node_mem_bw_Bps : 1.0;
+  }
+  double gemm_time(double flops, double bytes, int cores) const {
+    return gemm_overhead_s + flops / gemm_flops_per_sec +
+           stream_time(bytes, cores);
+  }
+  double stream_time(double bytes, int cores) const {
+    return bytes / mem_bw_Bps * mem_contention(cores);
+  }
+  double wire_time(double bytes) const { return bytes / net_bw_Bps; }
+  /// Extra latency paid by rendezvous-protocol messages.
+  double protocol_latency(double bytes) const {
+    return bytes > eager_limit_bytes ? 2.0 * net_latency_s : 0.0;
+  }
+};
+
+}  // namespace mp::sim

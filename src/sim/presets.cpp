@@ -1,0 +1,76 @@
+#include "sim/presets.h"
+
+#include "support/error.h"
+
+namespace mp::sim {
+namespace {
+
+PresetPlan build(const std::string& name, const std::string& desc,
+                 tce::TileSpaceSpec spec) {
+  PresetPlan p;
+  p.name = name;
+  p.description = desc;
+  p.space = std::make_unique<tce::TileSpace>(spec);
+  using tce::BlockTensor4;
+  using tce::RangeKind;
+  const std::array<RangeKind, 4> vvvv{RangeKind::kVirt, RangeKind::kVirt,
+                                      RangeKind::kVirt, RangeKind::kVirt};
+  const std::array<RangeKind, 4> vvoo{RangeKind::kVirt, RangeKind::kVirt,
+                                      RangeKind::kOcc, RangeKind::kOcc};
+  p.v = std::make_unique<BlockTensor4>(*p.space, vvvv);
+  p.t = std::make_unique<BlockTensor4>(*p.space, vvoo);
+  p.r = std::make_unique<BlockTensor4>(*p.space, vvoo, true, true);
+  p.plan = tce::inspect_t2_7(*p.space, {p.v.get(), p.t.get(), p.r.get()});
+  return p;
+}
+
+}  // namespace
+
+std::vector<std::string> preset_names() {
+  return {"tiny", "beta_carotene_32", "beta_carotene_c2h",
+          "beta_carotene_full"};
+}
+
+PresetPlan make_preset(const std::string& name) {
+  tce::TileSpaceSpec spec;
+  if (name == "tiny") {
+    spec.n_occ_alpha = spec.n_occ_beta = 4;
+    spec.n_virt_alpha = spec.n_virt_beta = 8;
+    spec.tile_size = 4;
+    return build(name, "small test structure (8o/16v, tile 4)", spec);
+  }
+  if (name == "beta_carotene_32") {
+    spec.n_occ_alpha = spec.n_occ_beta = 60;
+    spec.n_virt_alpha = spec.n_virt_beta = 120;
+    spec.tile_size = 20;
+    return build(name,
+                 "beta-carotene workload scaled for 32-node simulation "
+                 "(120o/240v spin orbitals, tile 20)",
+                 spec);
+  }
+  if (name == "beta_carotene_c2h") {
+    // Same sizes as beta_carotene_32 but with the C2h point group's two
+    // relevant abelian irreps: spatial symmetry thins the block structure
+    // and widens the chain-length distribution, as in real NWChem runs.
+    spec.n_occ_alpha = spec.n_occ_beta = 60;
+    spec.n_virt_alpha = spec.n_virt_beta = 120;
+    spec.tile_size = 20;
+    spec.num_irreps = 2;
+    return build(name,
+                 "beta-carotene workload with C2h spatial symmetry "
+                 "(120o/240v spin orbitals, tile 20, 2 irreps)",
+                 spec);
+  }
+  if (name == "beta_carotene_full") {
+    spec.n_occ_alpha = spec.n_occ_beta = 148;
+    spec.n_virt_alpha = spec.n_virt_beta = 324;
+    spec.tile_size = 40;
+    return build(name,
+                 "full beta-carotene 6-31G block structure "
+                 "(296o/648v spin orbitals, tile 40)",
+                 spec);
+  }
+  throw InvalidArgument("unknown preset: " + name);
+}
+
+}  // namespace mp::sim

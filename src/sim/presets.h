@@ -1,0 +1,41 @@
+// Named workload presets for the simulator and benchmark harnesses.
+//
+// The paper's input is beta-carotene in 6-31G: 472 basis functions, 296
+// electrons (148 occupied / 324 virtual spatial orbitals) on 32 nodes. The
+// presets reproduce the *block structure* of that workload:
+//
+//   beta_carotene_full : the full 148o/324v tiling (tile size 40). Used for
+//                        plan statistics; its event count makes full DES
+//                        sweeps slow on one host core.
+//   beta_carotene_32   : a scaled workload whose per-node task counts,
+//                        per-task GEMM shape, and communication intensity
+//                        on 32 nodes match the full problem (tile size 22,
+//                        44o/110v per spin). This drives the Fig. 9 and
+//                        trace reproductions; see EXPERIMENTS.md for the
+//                        scaling argument.
+//   tiny               : a small structure for tests.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tce/block_tensor.h"
+#include "tce/chain_plan.h"
+#include "tce/inspector.h"
+#include "tce/tiles.h"
+
+namespace mp::sim {
+
+struct PresetPlan {
+  std::string name;
+  std::string description;
+  std::unique_ptr<tce::TileSpace> space;
+  std::unique_ptr<tce::BlockTensor4> v, t, r;
+  tce::ChainPlan plan;
+};
+
+PresetPlan make_preset(const std::string& name);
+std::vector<std::string> preset_names();
+
+}  // namespace mp::sim

@@ -1,0 +1,252 @@
+#include "sim/ptg_sim.h"
+
+#include <queue>
+
+#include "support/error.h"
+
+namespace mp::sim {
+
+std::vector<std::string> sim_class_names() {
+  return {"DFILL", "READ_A", "READ_B", "GEMM", "REDUCE", "SORT", "WRITE"};
+}
+
+std::vector<char> sim_class_glyphs() {
+  // Red GEMMs in the paper's traces -> 'G'; readers 'a'/'b'; etc.
+  return {'0', 'a', 'b', 'G', 'R', 'S', 'W'};
+}
+
+namespace {
+
+/// A single-server FCFS resource tracked by its next free time.
+struct Fcfs {
+  double free_at = 0.0;
+  /// Serve a request arriving at `t` taking `dur`; returns completion time.
+  double serve(double t, double dur) {
+    const double start = free_at > t ? free_at : t;
+    free_at = start + dur;
+    return free_at;
+  }
+  /// Wait the request would incur before service starts.
+  double wait(double t) const { return free_at > t ? free_at - t : 0.0; }
+};
+
+enum class EvType : int8_t { kFinish, kArrive, kDeposit };
+
+struct Event {
+  double time = 0.0;
+  uint64_t seq = 0;
+  EvType type = EvType::kFinish;
+  int32_t task = -1;
+  int32_t core = -1;     // kFinish
+  double bytes = 0.0;    // kArrive
+  int32_t from_node = 0; // kArrive (trace only)
+
+  bool operator>(const Event& o) const {
+    if (time != o.time) return time > o.time;
+    return seq > o.seq;
+  }
+};
+
+struct ReadyEntry {
+  double priority = 0.0;
+  uint64_t seq = 0;
+  int32_t task = -1;
+  // Max-heap: higher priority first, FIFO among equals.
+  bool operator<(const ReadyEntry& o) const {
+    if (priority != o.priority) return priority < o.priority;
+    return seq > o.seq;
+  }
+};
+
+struct NodeState {
+  std::vector<int32_t> idle_cores;
+  std::priority_queue<ReadyEntry> ready;
+  Fcfs nic_in, nic_out, comm, mutex;
+  std::vector<Fcfs> accels;  ///< offload devices (hybrid future work)
+};
+
+}  // namespace
+
+SimResult simulate_ptg(const SimGraph& graph, const SimOptions& opts) {
+  MP_REQUIRE(opts.cores_per_node >= 1, "simulate_ptg: need >= 1 core");
+  const CostModel& cm = opts.cost;
+  const int P = graph.nodes;
+
+  std::vector<NodeState> nodes(static_cast<size_t>(P));
+  for (auto& n : nodes) {
+    n.idle_cores.resize(static_cast<size_t>(opts.cores_per_node));
+    for (int c = 0; c < opts.cores_per_node; ++c) {
+      n.idle_cores[static_cast<size_t>(c)] = c;
+    }
+    n.accels.resize(static_cast<size_t>(cm.accels_per_node));
+  }
+
+  std::vector<int32_t> deps(graph.tasks.size());
+  for (size_t i = 0; i < graph.tasks.size(); ++i) {
+    deps[i] = graph.tasks[i].ndeps;
+  }
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  uint64_t seq = 0;
+  SimResult res;
+
+  const int cores = opts.cores_per_node;
+  auto task_duration = [&](const SimTask& t) {
+    switch (t.kind) {
+      case SimTaskKind::kGemm:
+        return cm.task_overhead_s + cm.gemm_time(t.flops, t.bytes, cores);
+      case SimTaskKind::kSort:
+        return cm.task_overhead_s + cm.sort_overhead_s +
+               cm.stream_time(t.bytes, cores);
+      default:
+        return cm.task_overhead_s + cm.stream_time(t.bytes, cores);
+    }
+  };
+
+  auto dispatch = [&](int node_id, double now) {
+    NodeState& node = nodes[static_cast<size_t>(node_id)];
+    while (!node.idle_cores.empty() && !node.ready.empty()) {
+      const ReadyEntry re = node.ready.top();
+      node.ready.pop();
+      const int32_t core = node.idle_cores.back();
+      node.idle_cores.pop_back();
+      const SimTask& t = graph.tasks[static_cast<size_t>(re.task)];
+
+      double end;
+      if (t.needs_mutex) {
+        // The core blocks until the node mutex is free, then holds it for
+        // the critical region (lock cycle + the accumulate itself).
+        const double wait = node.mutex.wait(now);
+        res.mutex_wait_time += wait;
+        end = node.mutex.serve(now,
+                               cm.mutex_cycle_s + cm.task_overhead_s +
+                                   cm.stream_time(t.bytes, cores));
+      } else {
+        end = now + task_duration(t);
+        if (t.kind == SimTaskKind::kGemm && !node.accels.empty() &&
+            t.flops >= cm.accel_offload_threshold_flops) {
+          // Hybrid offload (the paper's future-work direction): pick the
+          // least-loaded device and offload only when it beats running on
+          // this core — the runtime's opportunistic device selection.
+          size_t best = 0;
+          for (size_t d = 1; d < node.accels.size(); ++d) {
+            if (node.accels[d].free_at < node.accels[best].free_at) best = d;
+          }
+          const double dur = t.flops / cm.accel_flops_per_sec +
+                             (t.bytes + t.out_bytes) / cm.accel_pcie_bw_Bps;
+          const double launch = now + cm.accel_launch_overhead_s;
+          const double accel_end =
+              (node.accels[best].free_at > launch ? node.accels[best].free_at
+                                                  : launch) +
+              dur;
+          if (accel_end < end) {
+            end = node.accels[best].serve(launch, dur);
+            res.offloaded_gemms += 1;
+          }
+        }
+      }
+      events.push(Event{end, seq++, EvType::kFinish, re.task, core, 0.0, 0});
+
+      res.core_busy_time += end - now;
+      res.busy_by_kind[static_cast<size_t>(t.kind)] += end - now;
+      if (opts.record_trace) {
+        res.trace.add(ptg::TraceEvent{t.node, core,
+                                      static_cast<int16_t>(t.kind),
+                                      ptg::params_of(t.l1, t.l2), now, end,
+                                      false});
+      }
+    }
+  };
+
+  auto make_ready = [&](int32_t task_id, double now) {
+    const SimTask& t = graph.tasks[static_cast<size_t>(task_id)];
+    nodes[static_cast<size_t>(t.node)].ready.push(
+        ReadyEntry{t.priority, seq++, task_id});
+    dispatch(t.node, now);
+  };
+
+  // Seed startup tasks (readers, DFILLs, dependency-free GEMMs).
+  // Enqueue all before dispatching so the priority order, not the task id
+  // order, decides execution — this is what Context::enumerate_startup does.
+  for (const SimTask& t : graph.tasks) {
+    if (t.ndeps == 0) {
+      nodes[static_cast<size_t>(t.node)].ready.push(
+          ReadyEntry{t.priority, seq++, t.id});
+    }
+  }
+  for (int n = 0; n < P; ++n) dispatch(n, 0.0);
+
+  double now = 0.0;
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    now = ev.time;
+
+    switch (ev.type) {
+      case EvType::kFinish: {
+        const SimTask& t = graph.tasks[static_cast<size_t>(ev.task)];
+        NodeState& node = nodes[static_cast<size_t>(t.node)];
+        node.idle_cores.push_back(ev.core);
+        for (const int32_t s : t.succs) {
+          const SimTask& st = graph.tasks[static_cast<size_t>(s)];
+          if (st.node == t.node) {
+            if (--deps[static_cast<size_t>(s)] == 0) make_ready(s, now);
+          } else {
+            // Cross-node activation: comm thread hands the buffer to the
+            // NIC; FCFS injection, wire latency, then ejection at the peer.
+            const double t_comm =
+                node.comm.serve(now, cm.comm_msg_overhead_s);
+            const double t_out =
+                node.nic_out.serve(t_comm, cm.wire_time(t.out_bytes));
+            res.comm_busy_time += cm.wire_time(t.out_bytes);
+            res.transfers += 1;
+            res.bytes_transferred += t.out_bytes;
+            events.push(Event{t_out + cm.net_latency_s +
+                                  cm.protocol_latency(t.out_bytes),
+                              seq++, EvType::kArrive, s, -1, t.out_bytes,
+                              t.node});
+          }
+        }
+        dispatch(t.node, now);
+        break;
+      }
+      case EvType::kArrive: {
+        const SimTask& st = graph.tasks[static_cast<size_t>(ev.task)];
+        NodeState& node = nodes[static_cast<size_t>(st.node)];
+        const double t_in = node.nic_in.serve(now, cm.wire_time(ev.bytes));
+        const double t_dep = node.comm.serve(t_in, cm.comm_msg_overhead_s);
+        res.comm_busy_time += cm.wire_time(ev.bytes);
+        if (opts.record_trace) {
+          res.trace.add(ptg::TraceEvent{st.node, -1, -1,
+                                        ptg::params_of(st.l1, st.l2), now,
+                                        t_dep, true});
+        }
+        events.push(
+            Event{t_dep, seq++, EvType::kDeposit, ev.task, -1, 0.0, 0});
+        break;
+      }
+      case EvType::kDeposit: {
+        if (--deps[static_cast<size_t>(ev.task)] == 0) {
+          make_ready(ev.task, now);
+        }
+        break;
+      }
+    }
+  }
+
+  res.makespan = now;
+  const double capacity =
+      res.makespan * static_cast<double>(P) * opts.cores_per_node;
+  res.idle_fraction = capacity > 0.0 ? 1.0 - res.core_busy_time / capacity
+                                     : 0.0;
+
+  // Sanity: every dependency must have been consumed.
+  for (size_t i = 0; i < deps.size(); ++i) {
+    MP_ASSERT(deps[i] <= 0 || graph.tasks[i].ndeps == 0,
+              "simulate_ptg: task never became ready (graph bug)");
+    MP_ASSERT(deps[i] <= 0, "simulate_ptg: unexecuted task at end");
+  }
+  return res;
+}
+
+}  // namespace mp::sim

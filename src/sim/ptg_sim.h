@@ -1,0 +1,48 @@
+// Discrete-event simulation of a PTG-variant execution on a cluster of
+// `nodes` x `cores_per_node` (plus a comm thread and NIC per node).
+//
+// The simulator executes exactly the task graph build_graph() derives from
+// the inspected ChainPlan: per-node priority scheduling of ready tasks,
+// FCFS NIC injection/ejection queues with latency and bandwidth, a per-node
+// comm thread with per-message overhead, and the node-level WRITE mutex.
+// It produces the same Trace records as the real runtime, so the paper's
+// trace figures (10/11) are regenerated from simulated schedules.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "ptg/trace.h"
+#include "sim/cost_model.h"
+#include "sim/task_graph.h"
+
+namespace mp::sim {
+
+struct SimOptions {
+  int cores_per_node = 8;
+  CostModel cost;
+  bool record_trace = false;
+};
+
+struct SimResult {
+  double makespan = 0.0;                 ///< simulated seconds
+  double core_busy_time = 0.0;           ///< sum over cores of busy seconds
+  double idle_fraction = 0.0;            ///< 1 - busy/(makespan*cores)
+  double comm_busy_time = 0.0;           ///< NIC-occupancy seconds (in+out)
+  double mutex_wait_time = 0.0;          ///< time cores spent queued on the
+                                         ///< node WRITE mutex
+  uint64_t transfers = 0;                ///< cross-node messages
+  double bytes_transferred = 0.0;
+  uint64_t offloaded_gemms = 0;          ///< GEMMs run on accelerators
+  std::array<double, 7> busy_by_kind{};  ///< indexed by SimTaskKind
+  ptg::Trace trace;                      ///< populated if record_trace
+};
+
+/// Names/glyphs for rendering simulated traces (indexed by SimTaskKind).
+std::vector<std::string> sim_class_names();
+std::vector<char> sim_class_glyphs();
+
+SimResult simulate_ptg(const SimGraph& graph, const SimOptions& opts);
+
+}  // namespace mp::sim

@@ -1,0 +1,69 @@
+// Builds the simulated task graph for a ChainPlan under a variant
+// configuration — the same graph shapes the real PTG executor constructs
+// (READ/DFILL/GEMM/REDUCE/SORT/WRITE with the paper's dataflow), plus a
+// generalized chain-segmentation knob for the ablation study: segments of
+// height h execute serially inside, segments in parallel with a reduction
+// tree over segment results (h=1 is the paper's fully-parallel extreme,
+// h=len the serial-chain v1 extreme).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "tce/chain_plan.h"
+#include "tce/variants.h"
+
+namespace mp::sim {
+
+enum class SimTaskKind : int8_t {
+  kDfill = 0,
+  kReadA = 1,
+  kReadB = 2,
+  kGemm = 3,
+  kReduce = 4,
+  kSort = 5,
+  kWrite = 6
+};
+
+const char* to_string(SimTaskKind k);
+
+struct SimTask {
+  int32_t id = 0;
+  SimTaskKind kind = SimTaskKind::kGemm;
+  int32_t node = 0;        ///< placement
+  int32_t l1 = 0;          ///< chain number (for priorities / tracing)
+  int32_t l2 = 0;          ///< secondary parameter
+  double priority = 0.0;
+  int32_t ndeps = 0;       ///< predecessor count (0 = startup task)
+  double flops = 0.0;      ///< GEMM work
+  double bytes = 0.0;      ///< memory traffic of the body
+  double out_bytes = 0.0;  ///< size of the produced buffer (transfer size)
+  bool needs_mutex = false;///< WRITE critical region
+  std::vector<int32_t> succs;
+};
+
+struct GraphOptions {
+  tce::VariantConfig variant = tce::VariantConfig::v5();
+  int nodes = 32;
+  /// Chain segmentation height; 0 = follow variant.parallel_gemms
+  /// (1 when parallel, whole chain when serial).
+  int segment_height = 0;
+  /// Priority offsets of the paper's formula (readers +5, GEMM +1).
+  int reader_offset = 5;
+  int gemm_offset = 1;
+};
+
+struct SimGraph {
+  std::vector<SimTask> tasks;
+  int nodes = 0;
+  size_t num_edges() const;
+};
+
+/// Owner of GA element `offset` in an array of `total` elements block-
+/// distributed over `nodes` ranks — same formula as ga::GlobalArray.
+int block_owner(int64_t offset, int64_t total, int nodes);
+
+SimGraph build_graph(const tce::ChainPlan& plan, const GraphOptions& opts);
+
+}  // namespace mp::sim

@@ -1,0 +1,57 @@
+// Error handling primitives shared by all minipar modules.
+//
+// We use exceptions for unrecoverable API misuse (per C++ Core Guidelines
+// E.2) and MP_ASSERT for internal invariants that indicate a bug. Hot paths
+// inside the runtime use MP_DCHECK, which compiles away in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace mp {
+
+/// Thrown on invalid arguments to public APIs.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when a runtime object is used in the wrong lifecycle state
+/// (e.g. enqueueing tasks into a context that already finished).
+class StateError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a communication/GA operation references unknown data.
+class DataError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::fprintf(stderr, "minipar assertion failed: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace mp
+
+#define MP_ASSERT(expr, msg)                               \
+  do {                                                     \
+    if (!(expr)) ::mp::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define MP_DCHECK(expr, msg) ((void)0)
+#else
+#define MP_DCHECK(expr, msg) MP_ASSERT(expr, msg)
+#endif
+
+#define MP_REQUIRE(expr, msg)                  \
+  do {                                         \
+    if (!(expr)) throw ::mp::InvalidArgument(msg); \
+  } while (0)

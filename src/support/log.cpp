@@ -1,0 +1,62 @@
+#include "support/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+namespace mp::log {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(Level::kInfo)};
+
+const char* level_tag(Level lvl) {
+  switch (lvl) {
+    case Level::kDebug: return "DBG";
+    case Level::kInfo: return "INF";
+    case Level::kWarn: return "WRN";
+    case Level::kError: return "ERR";
+  }
+  return "???";
+}
+
+}  // namespace
+
+void set_level(Level lvl) { g_level.store(static_cast<int>(lvl)); }
+
+Level level() { return static_cast<Level>(g_level.load()); }
+
+void logf(Level lvl, const char* fmt, ...) {
+  if (static_cast<int>(lvl) < g_level.load(std::memory_order_relaxed)) return;
+
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (n < 0) {
+    va_end(args2);
+    return;
+  }
+  std::vector<char> buf(static_cast<size_t>(n) + 1);
+  std::vsnprintf(buf.data(), buf.size(), fmt, args2);
+  va_end(args2);
+
+  using namespace std::chrono;
+  const auto now = duration_cast<microseconds>(
+                       steady_clock::now().time_since_epoch())
+                       .count();
+  char line[256];
+  const int m = std::snprintf(line, sizeof line, "[%s %10.3fms] ",
+                              level_tag(lvl),
+                              static_cast<double>(now) / 1000.0);
+  std::string out;
+  out.reserve(static_cast<size_t>(m + n) + 1);
+  out.append(line, static_cast<size_t>(m));
+  out.append(buf.data(), static_cast<size_t>(n));
+  out.push_back('\n');
+  std::fwrite(out.data(), 1, out.size(), stderr);
+}
+
+}  // namespace mp::log

@@ -1,0 +1,24 @@
+// Minimal leveled logger. Thread-safe: each message is formatted into a
+// single string and written with one fwrite, so lines never interleave.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace mp::log {
+
+enum class Level : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Default: kInfo.
+void set_level(Level lvl);
+Level level();
+
+/// printf-style logging.
+void logf(Level lvl, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace mp::log
+
+#define MP_LOG_DEBUG(...) ::mp::log::logf(::mp::log::Level::kDebug, __VA_ARGS__)
+#define MP_LOG_INFO(...) ::mp::log::logf(::mp::log::Level::kInfo, __VA_ARGS__)
+#define MP_LOG_WARN(...) ::mp::log::logf(::mp::log::Level::kWarn, __VA_ARGS__)
+#define MP_LOG_ERROR(...) ::mp::log::logf(::mp::log::Level::kError, __VA_ARGS__)

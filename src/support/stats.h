@@ -1,0 +1,36 @@
+// Small online-statistics helpers used by the tracer, the simulator and the
+// benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mp {
+
+/// Welford online mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile over a copy of the sample set (exact, nearest-rank).
+/// p in [0, 100]. Returns 0 for an empty sample.
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace mp

@@ -1,0 +1,140 @@
+#include "tce/block_tensor.h"
+
+#include "support/error.h"
+
+namespace mp::tce {
+
+BlockTensor4::BlockTensor4(const TileSpace& space,
+                           std::array<RangeKind, 4> ranges, bool triangular01,
+                           bool triangular23)
+    : space_(&space), ranges_(ranges), tri01_(triangular01),
+      tri23_(triangular23) {
+  // Register every existing block; offsets are assigned in loop order,
+  // which mirrors how TCE's offset arrays are laid out.
+  for (const Tile& a : tiles(0)) {
+    for (const Tile& b : tiles(1)) {
+      if (tri01_ && a.index > b.index) continue;
+      for (const Tile& c : tiles(2)) {
+        for (const Tile& d : tiles(3)) {
+          if (tri23_ && c.index > d.index) continue;
+          if (!block_allowed(a, b, c, d)) continue;
+          index_.add(key(a.index, b.index, c.index, d.index),
+                     static_cast<int64_t>(a.size) * b.size * c.size * d.size);
+        }
+      }
+    }
+  }
+}
+
+const std::vector<Tile>& BlockTensor4::tiles(int dim) const {
+  MP_REQUIRE(dim >= 0 && dim < 4, "BlockTensor4: bad dimension");
+  return ranges_[static_cast<size_t>(dim)] == RangeKind::kOcc
+             ? space_->occ_tiles()
+             : space_->virt_tiles();
+}
+
+bool BlockTensor4::has_block(int t0, int t1, int t2, int t3) const {
+  return index_.find(key(t0, t1, t2, t3)).has_value();
+}
+
+std::array<size_t, 4> BlockTensor4::block_dims(int t0, int t1, int t2,
+                                               int t3) const {
+  const std::array<int, 4> ts{t0, t1, t2, t3};
+  std::array<size_t, 4> dims{};
+  for (int d = 0; d < 4; ++d) {
+    const auto& tl = tiles(d);
+    const int t = ts[static_cast<size_t>(d)];
+    MP_REQUIRE(t >= 0 && t < static_cast<int>(tl.size()),
+               "BlockTensor4: tile index out of range");
+    dims[static_cast<size_t>(d)] = static_cast<size_t>(tl[static_cast<size_t>(t)].size);
+  }
+  return dims;
+}
+
+int64_t BlockTensor4::block_size(int t0, int t1, int t2, int t3) const {
+  const auto d = block_dims(t0, t1, t2, t3);
+  return static_cast<int64_t>(d[0] * d[1] * d[2] * d[3]);
+}
+
+std::array<int, 4> BlockTensor4::dense_dims() const {
+  std::array<int, 4> out{};
+  for (int d = 0; d < 4; ++d) {
+    out[static_cast<size_t>(d)] =
+        ranges_[static_cast<size_t>(d)] == RangeKind::kOcc ? space_->n_occ()
+                                                           : space_->n_virt();
+  }
+  return out;
+}
+
+int BlockTensor4::dense_offset(int dim, int t) const {
+  return ranges_[static_cast<size_t>(dim)] == RangeKind::kOcc
+             ? space_->occ_dense_offset(t)
+             : space_->virt_dense_offset(t);
+}
+
+void BlockTensor4::scatter_dense(const std::vector<double>& dense,
+                                 ga::GlobalArray& ga) const {
+  const auto nd = dense_dims();
+  MP_REQUIRE(dense.size() == static_cast<size_t>(nd[0]) * nd[1] * nd[2] * nd[3],
+             "scatter_dense: dense size mismatch");
+  std::vector<double> buf;
+  for (const uint64_t k : index_.keys()) {
+    const int t0 = static_cast<int>((k >> 48) & 0xFFFF);
+    const int t1 = static_cast<int>((k >> 32) & 0xFFFF);
+    const int t2 = static_cast<int>((k >> 16) & 0xFFFF);
+    const int t3 = static_cast<int>(k & 0xFFFF);
+    const auto bd = block_dims(t0, t1, t2, t3);
+    const int o0 = dense_offset(0, t0), o1 = dense_offset(1, t1),
+              o2 = dense_offset(2, t2), o3 = dense_offset(3, t3);
+    buf.resize(bd[0] * bd[1] * bd[2] * bd[3]);
+    size_t at = 0;
+    for (size_t x0 = 0; x0 < bd[0]; ++x0)
+      for (size_t x1 = 0; x1 < bd[1]; ++x1)
+        for (size_t x2 = 0; x2 < bd[2]; ++x2)
+          for (size_t x3 = 0; x3 < bd[3]; ++x3) {
+            const size_t di =
+                (((o0 + x0) * static_cast<size_t>(nd[1]) + (o1 + x1)) *
+                     static_cast<size_t>(nd[2]) +
+                 (o2 + x2)) *
+                    static_cast<size_t>(nd[3]) +
+                (o3 + x3);
+            buf[at++] = dense[di];
+          }
+    ga::put_hash_block(ga, index_, k, buf.data());
+  }
+}
+
+std::vector<double> BlockTensor4::gather_dense(
+    const ga::GlobalArray& ga) const {
+  const auto nd = dense_dims();
+  std::vector<double> dense(
+      static_cast<size_t>(nd[0]) * nd[1] * nd[2] * nd[3], 0.0);
+  std::vector<double> buf;
+  for (const uint64_t k : index_.keys()) {
+    const int t0 = static_cast<int>((k >> 48) & 0xFFFF);
+    const int t1 = static_cast<int>((k >> 32) & 0xFFFF);
+    const int t2 = static_cast<int>((k >> 16) & 0xFFFF);
+    const int t3 = static_cast<int>(k & 0xFFFF);
+    const auto bd = block_dims(t0, t1, t2, t3);
+    const int o0 = dense_offset(0, t0), o1 = dense_offset(1, t1),
+              o2 = dense_offset(2, t2), o3 = dense_offset(3, t3);
+    buf.resize(bd[0] * bd[1] * bd[2] * bd[3]);
+    ga::get_hash_block(ga, index_, k, buf.data());
+    size_t at = 0;
+    for (size_t x0 = 0; x0 < bd[0]; ++x0)
+      for (size_t x1 = 0; x1 < bd[1]; ++x1)
+        for (size_t x2 = 0; x2 < bd[2]; ++x2)
+          for (size_t x3 = 0; x3 < bd[3]; ++x3) {
+            const size_t di =
+                (((o0 + x0) * static_cast<size_t>(nd[1]) + (o1 + x1)) *
+                     static_cast<size_t>(nd[2]) +
+                 (o2 + x2)) *
+                    static_cast<size_t>(nd[3]) +
+                (o3 + x3);
+            dense[di] = buf[at++];
+          }
+  }
+  return dense;
+}
+
+}  // namespace mp::tce

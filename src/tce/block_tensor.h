@@ -1,0 +1,75 @@
+// Block-sparse 4-index tensors over a TileSpace, stored in a Global Array
+// through the TCE hash-block layout.
+//
+// A block (t0,t1,t2,t3) exists iff
+//   * spin is conserved: spin(t0)+spin(t1) == spin(t2)+spin(t3), and
+//   * the canonical (triangular) restrictions hold where enabled:
+//     t0 <= t1 and/or t2 <= t3 (used for antisymmetric index pairs).
+// Elements within a block are laid out row-major over (x0,x1,x2,x3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ga/global_array.h"
+#include "ga/hash_block.h"
+#include "tce/tiles.h"
+
+namespace mp::tce {
+
+enum class RangeKind { kOcc, kVirt };
+
+class BlockTensor4 {
+ public:
+  BlockTensor4(const TileSpace& space, std::array<RangeKind, 4> ranges,
+               bool triangular01 = false, bool triangular23 = false);
+
+  const ga::HashBlockIndex& index() const { return index_; }
+  const TileSpace& space() const { return *space_; }
+
+  const std::vector<Tile>& tiles(int dim) const;
+  int num_tiles(int dim) const { return static_cast<int>(tiles(dim).size()); }
+
+  /// Whether a tile-block exists (spin guard + canonical restriction).
+  bool has_block(int t0, int t1, int t2, int t3) const;
+
+  /// Hash key of a block (valid whether or not the block exists).
+  static uint64_t key(int t0, int t1, int t2, int t3) {
+    return ga::HashBlockIndex::key4(t0, t1, t2, t3);
+  }
+
+  /// Dims of a block: sizes of the four tiles.
+  std::array<size_t, 4> block_dims(int t0, int t1, int t2, int t3) const;
+
+  /// Elements in a block.
+  int64_t block_size(int t0, int t1, int t2, int t3) const;
+
+  /// Total GA elements needed to store this tensor.
+  int64_t ga_size() const { return index_.total_size(); }
+
+  /// Dense extents (total spin-orbitals per dimension).
+  std::array<int, 4> dense_dims() const;
+
+  /// Dense offset of tile `t` along dimension `dim`.
+  int dense_offset(int dim, int t) const;
+
+  /// Write every existing block of `dense` (row-major, dense_dims extents)
+  /// into the GA. Non-existing (spin-forbidden / non-canonical) dense
+  /// entries are ignored.
+  void scatter_dense(const std::vector<double>& dense,
+                     ga::GlobalArray& ga) const;
+
+  /// Read all existing blocks from the GA into a dense tensor; entries with
+  /// no backing block are zero.
+  std::vector<double> gather_dense(const ga::GlobalArray& ga) const;
+
+ private:
+  const TileSpace* space_;
+  std::array<RangeKind, 4> ranges_;
+  bool tri01_;
+  bool tri23_;
+  ga::HashBlockIndex index_;
+};
+
+}  // namespace mp::tce

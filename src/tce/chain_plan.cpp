@@ -1,0 +1,73 @@
+#include "tce/chain_plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace mp::tce {
+
+PlanStats ChainPlan::stats() const {
+  PlanStats s;
+  s.num_chains = chains.size();
+  if (chains.empty()) return s;
+  s.min_chain_len = chains.front().gemms.size();
+  for (const Chain& c : chains) {
+    s.num_gemms += c.gemms.size();
+    s.num_sorts += c.sorts.size();
+    s.min_chain_len = std::min(s.min_chain_len, c.gemms.size());
+    s.max_chain_len = std::max(s.max_chain_len, c.gemms.size());
+    for (const GemmOp& g : c.gemms) {
+      s.total_flops += 2.0 * g.m * g.n * g.k;
+      s.read_bytes += 8.0 * (static_cast<double>(g.m) * g.k +
+                             static_cast<double>(g.k) * g.n);
+    }
+    s.write_bytes +=
+        8.0 * static_cast<double>(c.c_elems()) * static_cast<double>(c.sorts.size());
+  }
+  s.mean_chain_len =
+      static_cast<double>(s.num_gemms) / static_cast<double>(s.num_chains);
+  return s;
+}
+
+ChainPlan fuse_plans(const ChainPlan& p1, const ChainPlan& p2,
+                     const std::array<int, 3>& map2) {
+  ChainPlan out;
+  out.store_sizes = p1.store_sizes;
+  for (int s = 0; s < 3; ++s) {
+    const int dst = map2[static_cast<size_t>(s)];
+    MP_REQUIRE(dst >= 0 && dst <= static_cast<int>(out.store_sizes.size()),
+               "fuse_plans: store map must extend the store list densely");
+    if (dst == static_cast<int>(out.store_sizes.size())) {
+      out.store_sizes.push_back(p2.store_sizes[static_cast<size_t>(s)]);
+    } else {
+      MP_REQUIRE(out.store_sizes[static_cast<size_t>(dst)] ==
+                     p2.store_sizes[static_cast<size_t>(s)],
+                 "fuse_plans: shared store sizes disagree");
+    }
+  }
+
+  out.chains = p1.chains;
+  for (Chain ch : p2.chains) {
+    ch.a_store = static_cast<int8_t>(map2[static_cast<size_t>(ch.a_store)]);
+    ch.b_store = static_cast<int8_t>(map2[static_cast<size_t>(ch.b_store)]);
+    ch.r_store = static_cast<int8_t>(map2[static_cast<size_t>(ch.r_store)]);
+    out.chains.push_back(std::move(ch));
+  }
+  for (size_t i = 0; i < out.chains.size(); ++i) {
+    out.chains[i].id = static_cast<int>(i);
+  }
+  return out;
+}
+
+std::string PlanStats::describe() const {
+  std::ostringstream os;
+  os << "chains=" << num_chains << " gemms=" << num_gemms
+     << " sorts=" << num_sorts << " chain_len[min/mean/max]=" << min_chain_len
+     << "/" << mean_chain_len << "/" << max_chain_len
+     << " gflops=" << total_flops / 1e9 << " read_MB=" << read_bytes / 1e6
+     << " write_MB=" << write_bytes / 1e6;
+  return os.str();
+}
+
+}  // namespace mp::tce

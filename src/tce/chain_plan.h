@@ -1,0 +1,100 @@
+// The product of the inspection phase: a ChainPlan describing every chain
+// of GEMMs the TCE-generated loop nest would execute, with the guarded
+// SORT/WRITE operations that terminate each chain.
+//
+// The same plan object drives all executors — the serial reference, the
+// original NWChem-style executor, the PaRSEC-style PTG executor — and the
+// discrete-event simulator, guaranteeing they all run the same task graph.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mp::tce {
+
+/// One GEMM of a chain (position L2 within chain L1).
+struct GemmOp {
+  int l2 = 0;           ///< position in the chain
+  uint64_t a_key = 0;   ///< hash-block key of the A input
+  uint64_t b_key = 0;   ///< hash-block key of the B input
+  int64_t a_offset = 0; ///< element offset of A's block in its GA
+  int64_t b_offset = 0;
+  int m = 0;            ///< C is m x n (column-major)
+  int n = 0;
+  int k = 0;
+  double alpha = 1.0;
+  char transa = 'N';    ///< BLAS transpose flags of the generated call
+  char transb = 'T';
+
+  /// Leading dimensions implied by the flags (column-major storage).
+  int lda() const { return (transa == 'T' || transa == 't') ? k : m; }
+  int ldb() const { return (transb == 'T' || transb == 't') ? n : k; }
+};
+
+/// One guarded SORT (index remap + scale) writing into the target block.
+struct SortOp {
+  int guard_id = 0;            ///< which of the four IF branches (0..3)
+  std::array<int, 4> perm{};   ///< sort_4 permutation
+  double factor = 1.0;         ///< antisymmetry sign
+};
+
+/// A full chain: DFILL -> GEMM* -> SORT{1,2,4} -> WRITE.
+struct Chain {
+  int id = 0;                        ///< chain number L1
+  std::array<int, 4> out_tiles{};    ///< output tile quadruple, canonical
+  uint64_t c_key = 0;                ///< target block key in the R tensor
+  int64_t c_offset = 0;              ///< element offset of the target block
+  std::array<size_t, 4> c_dims{};    ///< dims of the chain output C buffer
+                                     ///< in its row-major 4-index reading
+  int m = 0;                         ///< C matrix rows (column-major)
+  int n = 0;                         ///< C matrix cols
+  /// Which tensor store each operand lives in (index into the executor's
+  /// store list / plan.store_sizes). Chains of different subroutines in a
+  /// fused plan reference different stores.
+  int8_t a_store = 0;
+  int8_t b_store = 1;
+  int8_t r_store = 2;
+  std::vector<GemmOp> gemms;
+  std::vector<SortOp> sorts;
+
+  int64_t c_elems() const { return static_cast<int64_t>(m) * n; }
+};
+
+struct PlanStats {
+  size_t num_chains = 0;
+  size_t num_gemms = 0;
+  size_t num_sorts = 0;
+  size_t min_chain_len = 0;
+  size_t max_chain_len = 0;
+  double mean_chain_len = 0.0;
+  double total_flops = 0.0;       ///< 2*m*n*k summed over GEMMs
+  double read_bytes = 0.0;        ///< A+B bytes fetched (once per GEMM)
+  double write_bytes = 0.0;       ///< bytes accumulated into the GA
+  std::string describe() const;
+};
+
+struct ChainPlan {
+  std::vector<Chain> chains;
+  /// GA element counts per tensor store, indexed by Chain::{a,b,r}_store —
+  /// enables owner-mapping without materializing data (the simulator needs
+  /// this at paper scale). A single-contraction plan has three stores:
+  /// 0 = A operand, 1 = B operand, 2 = result.
+  std::vector<int64_t> store_sizes;
+
+  int64_t store_size(int8_t s) const { return store_sizes[static_cast<size_t>(s)]; }
+
+  PlanStats stats() const;
+};
+
+/// Fuse two plans into one (the paper's future-work direction: several
+/// ported subroutines executing under one runtime context with no
+/// synchronization between them). `map2[s]` gives the fused store id of
+/// p2's store s; new ids must extend the store list densely, and ids mapped
+/// onto existing stores must have matching sizes (shared tensors, e.g. a
+/// common result accumulator). Chains are re-numbered densely.
+ChainPlan fuse_plans(const ChainPlan& p1, const ChainPlan& p2,
+                     const std::array<int, 3>& map2);
+
+}  // namespace mp::tce

@@ -1,0 +1,171 @@
+#include "tce/inspector.h"
+
+#include "support/error.h"
+
+namespace mp::tce {
+namespace {
+
+/// Shared outer loop: enumerate canonical output blocks (p3b <= p4b,
+/// h1b <= h2b, spin conserving), fill in the chain skeleton, call
+/// `emit_gemms(chain, p3, p4, h1, h2)` for the subroutine-specific inner
+/// loop, and attach the four guarded sorts.
+template <typename EmitGemms>
+ChainPlan inspect_common(const TileSpace& space, const BlockTensor4& r,
+                         const std::array<int, 4>& guard0_perm,
+                         EmitGemms&& emit_gemms) {
+  ChainPlan plan;
+  const auto& vt = space.virt_tiles();
+  const auto& ot = space.occ_tiles();
+  int next_chain = 0;
+
+  for (const Tile& p3 : vt) {
+    for (const Tile& p4 : vt) {
+      if (p3.index > p4.index) continue;  // canonical storage of R
+      for (const Tile& h1 : ot) {
+        for (const Tile& h2 : ot) {
+          if (h1.index > h2.index) continue;
+          if (!r.has_block(p3.index, p4.index, h1.index, h2.index)) continue;
+
+          Chain chain;
+          chain.out_tiles = {p3.index, p4.index, h1.index, h2.index};
+          chain.c_key =
+              BlockTensor4::key(p3.index, p4.index, h1.index, h2.index);
+          chain.c_offset = r.index().find(chain.c_key)->offset;
+
+          emit_gemms(chain, p3, p4, h1, h2);
+          if (chain.gemms.empty()) continue;  // nothing contributes
+
+          // The four IF-guarded SORTs of the generated code. Guard 0
+          // always fires for canonical output; the others fire when tile
+          // indices coincide — "one, two, or four SORT operations". The
+          // permutations are guard0's composed with the (h1,h2) and/or
+          // (p3,p4) swap; signs are the antisymmetry factors.
+          const auto& g0 = guard0_perm;
+          // Find which output axes carry (p3,p4) and (h1,h2): output order
+          // is always [p3,p4,h1,h2], so swapping p-axes permutes slots 0,1
+          // and swapping h-axes permutes slots 2,3.
+          chain.sorts.push_back(SortOp{0, g0, +1.0});
+          if (h2.index <= h1.index) {
+            chain.sorts.push_back(SortOp{1, {g0[0], g0[1], g0[3], g0[2]},
+                                         -1.0});
+          }
+          if (p4.index <= p3.index) {
+            chain.sorts.push_back(SortOp{2, {g0[1], g0[0], g0[2], g0[3]},
+                                         -1.0});
+          }
+          if (p4.index <= p3.index && h2.index <= h1.index) {
+            chain.sorts.push_back(SortOp{3, {g0[1], g0[0], g0[3], g0[2]},
+                                         +1.0});
+          }
+
+          chain.id = next_chain++;
+          plan.chains.push_back(std::move(chain));
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+ChainPlan inspect_t2_7(const TileSpace& space, const T2_7Operands& ops) {
+  MP_REQUIRE(ops.v && ops.t && ops.r, "inspect_t2_7: null operand");
+  const BlockTensor4& v = *ops.v;
+  const BlockTensor4& t = *ops.t;
+  const auto& vt = space.virt_tiles();
+
+  // Chain C buffer is column-major (p3*p4) x (h1*h2), i.e. row-major
+  // [h1, h2, p3, p4]; guard-0 sort remaps it to [p3, p4, h1, h2].
+  ChainPlan plan = inspect_common(
+      space, *ops.r, {2, 3, 0, 1},
+      [&](Chain& chain, const Tile& p3, const Tile& p4, const Tile& h1,
+          const Tile& h2) {
+        chain.m = p3.size * p4.size;
+        chain.n = h1.size * h2.size;
+        chain.c_dims = {static_cast<size_t>(h1.size),
+                        static_cast<size_t>(h2.size),
+                        static_cast<size_t>(p3.size),
+                        static_cast<size_t>(p4.size)};
+        int l2 = 0;
+        for (const Tile& p5 : vt) {
+          for (const Tile& p6 : vt) {
+            if (!v.has_block(p5.index, p6.index, p3.index, p4.index)) {
+              continue;  // spin guard on the v block
+            }
+            if (!t.has_block(p5.index, p6.index, h1.index, h2.index)) {
+              continue;  // spin guard on the t block
+            }
+            GemmOp g;
+            g.l2 = l2++;
+            g.a_key =
+                BlockTensor4::key(p5.index, p6.index, p3.index, p4.index);
+            g.b_key =
+                BlockTensor4::key(p5.index, p6.index, h1.index, h2.index);
+            g.a_offset = v.index().find(g.a_key)->offset;
+            g.b_offset = t.index().find(g.b_key)->offset;
+            g.m = chain.m;
+            g.n = chain.n;
+            g.k = p5.size * p6.size;
+            g.alpha = 0.5;  // the 1/2 of the ladder term
+            g.transa = 'N';
+            g.transb = 'T';
+            chain.gemms.push_back(g);
+          }
+        }
+      });
+  plan.store_sizes = {v.ga_size(), t.ga_size(), ops.r->ga_size()};
+  return plan;
+}
+
+ChainPlan inspect_hh_ladder(const TileSpace& space,
+                            const HhLadderOperands& ops) {
+  MP_REQUIRE(ops.w && ops.t && ops.r, "inspect_hh_ladder: null operand");
+  const BlockTensor4& w = *ops.w;
+  const BlockTensor4& t = *ops.t;
+  const auto& ot = space.occ_tiles();
+
+  // Chain C buffer is column-major (h1*h2) x (p3*p4), i.e. row-major
+  // [p3, p4, h1, h2]; guard-0 sort is the identity remap.
+  ChainPlan plan = inspect_common(
+      space, *ops.r, {0, 1, 2, 3},
+      [&](Chain& chain, const Tile& p3, const Tile& p4, const Tile& h1,
+          const Tile& h2) {
+        chain.m = h1.size * h2.size;
+        chain.n = p3.size * p4.size;
+        chain.c_dims = {static_cast<size_t>(p3.size),
+                        static_cast<size_t>(p4.size),
+                        static_cast<size_t>(h1.size),
+                        static_cast<size_t>(h2.size)};
+        int l2 = 0;
+        for (const Tile& h5 : ot) {
+          for (const Tile& h6 : ot) {
+            if (!w.has_block(h5.index, h6.index, h1.index, h2.index)) {
+              continue;
+            }
+            if (!t.has_block(p3.index, p4.index, h5.index, h6.index)) {
+              continue;
+            }
+            GemmOp g;
+            g.l2 = l2++;
+            g.a_key =
+                BlockTensor4::key(h5.index, h6.index, h1.index, h2.index);
+            g.b_key =
+                BlockTensor4::key(p3.index, p4.index, h5.index, h6.index);
+            g.a_offset = w.index().find(g.a_key)->offset;
+            g.b_offset = t.index().find(g.b_key)->offset;
+            g.m = chain.m;
+            g.n = chain.n;
+            g.k = h5.size * h6.size;
+            g.alpha = 0.5;
+            g.transa = 'N';
+            g.transb = 'N';
+            chain.gemms.push_back(g);
+          }
+        }
+      });
+  plan.store_sizes = {w.ga_size(), t.ga_size(), ops.r->ga_size()};
+  return plan;
+}
+
+}  // namespace mp::tce

@@ -1,0 +1,59 @@
+// The inspection phase (Section III.B of the paper).
+//
+// NWChem's TCE-generated CC subroutines are deep FORTRAN loop nests: DO
+// loops over output tile quadruples, IF guards from spin symmetry and
+// canonical (triangular) index ordering, an inner loop over contracted
+// tile pairs forming a serial chain of GEMMs, and four guarded
+// SORT_4/ADD_HASH_BLOCK calls that scatter the chain result back to the
+// Global Array.
+//
+// Our inspectors are the "slice" of that control flow the paper describes:
+// they walk the same loops and IF guards but, instead of calling GEMM(),
+// record the iteration metadata — which blocks, which sizes, which chain,
+// which position in the chain — into a ChainPlan (the paper's meta-data
+// arrays). Executors replay the plan; nothing is recomputed.
+//
+// Two subroutines are provided:
+//
+//  inspect_t2_7 — the particle-particle ladder (the subroutine the paper
+//  ports):
+//     R[p3,p4,h1,h2] += 1/2 * sum_{p5,p6} v[p5,p6,p3,p4] * t[p5,p6,h1,h2]
+//
+//  inspect_hh_ladder — the hole-hole (occupied-occupied) ladder, the
+//  pure-integral part of the Wmnij intermediate; the natural next
+//  subroutine to port (the paper's "larger part of the application"):
+//     R[p3,p4,h1,h2] += 1/2 * sum_{h5,h6} t[p3,p4,h5,h6] * w[h5,h6,h1,h2]
+//
+// Both store R canonically (p3b <= p4b, h1b <= h2b) with the four guarded
+// sorts applying the antisymmetry signs; blocks whose tile pairs coincide
+// accumulate 2^d times the raw contraction (d = number of coinciding
+// pairs), and consumers divide the factor back out (cc/integration.h).
+//
+// Plan store ids: 0 = A operand, 1 = B operand, 2 = result.
+#pragma once
+
+#include "tce/block_tensor.h"
+#include "tce/chain_plan.h"
+#include "tce/tiles.h"
+
+namespace mp::tce {
+
+/// Tensor operands of the pp-ladder (t2_7) contraction.
+struct T2_7Operands {
+  const BlockTensor4* v = nullptr;  ///< VVVV, unrestricted blocks (store 0)
+  const BlockTensor4* t = nullptr;  ///< VVOO, unrestricted blocks (store 1)
+  const BlockTensor4* r = nullptr;  ///< VVOO, canonical pairs (store 2)
+};
+
+/// Tensor operands of the hh-ladder contraction.
+struct HhLadderOperands {
+  const BlockTensor4* w = nullptr;  ///< OOOO, unrestricted blocks (store 0)
+  const BlockTensor4* t = nullptr;  ///< VVOO, unrestricted blocks (store 1)
+  const BlockTensor4* r = nullptr;  ///< VVOO, canonical pairs (store 2)
+};
+
+ChainPlan inspect_t2_7(const TileSpace& space, const T2_7Operands& ops);
+ChainPlan inspect_hh_ladder(const TileSpace& space,
+                            const HhLadderOperands& ops);
+
+}  // namespace mp::tce

@@ -1,0 +1,117 @@
+#include "tce/original_exec.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ga/hash_block.h"
+#include "linalg/gemm.h"
+#include "linalg/sort4.h"
+#include "support/error.h"
+
+namespace mp::tce {
+
+using clock_type = std::chrono::steady_clock;
+
+namespace {
+
+double since(const clock_type::time_point& epoch) {
+  return std::chrono::duration<double>(clock_type::now() - epoch).count();
+}
+
+void process_chain(const Chain& chain, const StoreList& stores,
+                   const OriginalExecOptions& opts, int rank, int worker,
+                   const clock_type::time_point& epoch, ptg::Trace* trace,
+                   std::mutex* trace_mu) {
+  auto record = [&](int16_t cls, int l2, double t0, bool comm) {
+    if (!trace) return;
+    const double t1 = since(epoch);
+    std::lock_guard lock(*trace_mu);
+    trace->add(ptg::TraceEvent{rank, worker, cls,
+                               ptg::params_of(chain.id, l2), t0, t1, comm});
+  };
+
+  const TensorStore& sa = stores[static_cast<size_t>(chain.a_store)];
+  const TensorStore& sb = stores[static_cast<size_t>(chain.b_store)];
+  const TensorStore& sr = stores[static_cast<size_t>(chain.r_store)];
+
+  std::vector<double> a, b, c, sorted;
+  c.assign(static_cast<size_t>(chain.c_elems()), 0.0);
+
+  for (const GemmOp& g : chain.gemms) {
+    // Blocking GET_HASH_BLOCK immediately before the GEMM: by construction
+    // there is no compute to overlap it with (paper Section V, Fig. 13).
+    double t0 = opts.enable_tracing ? since(epoch) : 0.0;
+    a.resize(static_cast<size_t>(g.m) * g.k);
+    b.resize(static_cast<size_t>(g.n) * g.k);
+    ga::get_hash_block(*sa.ga, sa.shape->index(), g.a_key, a.data());
+    ga::get_hash_block(*sb.ga, sb.shape->index(), g.b_key, b.data());
+    record(kOrigGet, g.l2, t0, true);
+
+    t0 = opts.enable_tracing ? since(epoch) : 0.0;
+    linalg::dgemm(g.transa, g.transb, static_cast<size_t>(g.m),
+                  static_cast<size_t>(g.n), static_cast<size_t>(g.k), g.alpha,
+                  a.data(), static_cast<size_t>(g.lda()), b.data(),
+                  static_cast<size_t>(g.ldb()), 1.0, c.data(),
+                  static_cast<size_t>(g.m));
+    record(kOrigGemm, g.l2, t0, false);
+  }
+
+  sorted.resize(c.size());
+  for (const SortOp& so : chain.sorts) {
+    double t0 = opts.enable_tracing ? since(epoch) : 0.0;
+    linalg::sort_4(c.data(), sorted.data(), chain.c_dims, so.perm, so.factor);
+    record(kOrigSort, so.guard_id, t0, false);
+
+    t0 = opts.enable_tracing ? since(epoch) : 0.0;
+    ga::add_hash_block(*sr.ga, sr.shape->index(), chain.c_key,
+                       sorted.data());
+    record(kOrigAdd, so.guard_id, t0, true);
+  }
+}
+
+}  // namespace
+
+void execute_original(vc::RankCtx& rctx, const ChainPlan& plan,
+                      const StoreList& stores, ga::NxtVal& nxtval,
+                      const OriginalExecOptions& opts, ptg::Trace* trace) {
+  MP_REQUIRE(opts.workers_per_rank >= 1,
+             "execute_original: need >= 1 worker");
+  const auto epoch = clock_type::now();
+  const long nchains = static_cast<long>(plan.chains.size());
+  std::mutex trace_mu;
+
+  auto worker_fn = [&](int worker) {
+    for (;;) {
+      const double t0 = opts.enable_tracing ? since(epoch) : 0.0;
+      const long ticket = nxtval.next();
+      if (opts.nxtval_delay_us > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(
+            opts.nxtval_delay_us));
+      }
+      if (trace && opts.enable_tracing) {
+        std::lock_guard lock(trace_mu);
+        trace->add(ptg::TraceEvent{rctx.rank(), worker, kOrigNxtval,
+                                   ptg::params_of(static_cast<int32_t>(ticket)),
+                                   t0, since(epoch), true});
+      }
+      if (ticket >= nchains) return;
+      process_chain(plan.chains[static_cast<size_t>(ticket)], stores, opts,
+                    rctx.rank(), worker, epoch,
+                    opts.enable_tracing ? trace : nullptr, &trace_mu);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int w = 1; w < opts.workers_per_rank; ++w) {
+    threads.emplace_back(worker_fn, w);
+  }
+  worker_fn(0);
+  for (auto& th : threads) th.join();
+
+  // The explicit synchronization step between work levels (Section III-A).
+  rctx.barrier();
+}
+
+}  // namespace mp::tce

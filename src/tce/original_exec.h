@@ -1,0 +1,56 @@
+// The original NWChem/TCE execution structure (Section III-A):
+//   * the unit of work is a whole chain;
+//   * global dynamic load balancing: each worker atomically acquires the
+//     next chain ticket via the NXTVAL shared counter;
+//   * GET_HASH_BLOCK is issued immediately before each GEMM — blocking, so
+//     communication is interleaved with but never overlapped by compute
+//     (the Fig. 12/13 behaviour);
+//   * the guarded SORTs and ADD_HASH_BLOCK accumulates run serially at the
+//     end of the chain;
+//   * an explicit synchronization (barrier) ends the work level.
+//
+// Each rank runs `workers_per_rank` threads, modelling the paper's
+// "cores per node" for the original code (one MPI rank per core).
+#pragma once
+
+#include "ga/global_array.h"
+#include "ptg/trace.h"
+#include "tce/chain_plan.h"
+#include "tce/storage.h"
+#include "vc/cluster.h"
+
+namespace mp::tce {
+
+struct OriginalExecOptions {
+  int workers_per_rank = 1;
+  bool enable_tracing = false;
+  /// Simulated NXTVAL round-trip cost in microseconds (0 = free). Lets
+  /// real-execution experiments exhibit the counter bottleneck the paper
+  /// attributes to GA's global read-modify-write.
+  double nxtval_delay_us = 0.0;
+};
+
+/// Trace class ids used by the original executor (for gantt glyphs).
+enum OriginalTraceClass : int16_t {
+  kOrigGet = 0,   // blocking GET_HASH_BLOCK (comm)
+  kOrigGemm = 1,
+  kOrigSort = 2,
+  kOrigAdd = 3,   // ADD_HASH_BLOCK
+  kOrigNxtval = 4
+};
+
+/// Execute the plan SPMD-style; collective over the cluster. Appends this
+/// rank's events to *trace when tracing is enabled.
+void execute_original(vc::RankCtx& rctx, const ChainPlan& plan,
+                      const StoreList& stores, ga::NxtVal& nxtval,
+                      const OriginalExecOptions& opts,
+                      ptg::Trace* trace = nullptr);
+
+inline void execute_original(vc::RankCtx& rctx, const ChainPlan& plan,
+                             const T2_7Storage& s, ga::NxtVal& nxtval,
+                             const OriginalExecOptions& opts,
+                             ptg::Trace* trace = nullptr) {
+  execute_original(rctx, plan, s.stores(), nxtval, opts, trace);
+}
+
+}  // namespace mp::tce

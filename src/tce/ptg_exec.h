@@ -1,0 +1,64 @@
+// The PaRSEC-style executor: turns a ChainPlan into a Parameterized Task
+// Graph and runs it on the ptg runtime (Section III-B / IV of the paper).
+//
+// Task classes, by variant configuration:
+//   READ_A(L1,L2), READ_B(L1,L2)  — pull input blocks from the GA; placed
+//                                   on the rank owning the data, the
+//                                   runtime ships the buffer to the GEMM.
+//   DFILL(L1)                     — zero-initialize the chain's C buffer
+//                                   (serial-chain variant only, Fig. 1).
+//   GEMM(L1,L2)                   — serial chain: RW flow of C through the
+//                                   chain; parallel: private partial C.
+//   REDUCE(L1,node)               — binary reduction tree of partial Cs
+//                                   (parallel-GEMM variants, Fig. 4).
+//   SORT(L1) / SORT_i(L1,i)       — guarded index remaps (Figs. 5/6).
+//   WRITE_C(L1) / WRITE_C_i(L1,i) — accumulate into the GA under the
+//                                   node-level mutex (Figs. 5/6/7), placed
+//                                   on the rank owning the target block
+//                                   (Fig. 8).
+//
+// Inter-node distribution is static round-robin over chains; intra-node
+// scheduling is dynamic (Section IV-D). Priorities follow the paper's
+// max_L1 - L1 + offset*P scheme (Section IV-C).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ptg/context.h"
+#include "tce/chain_plan.h"
+#include "tce/storage.h"
+#include "tce/variants.h"
+#include "vc/cluster.h"
+
+namespace mp::tce {
+
+struct PtgExecOptions {
+  VariantConfig variant = VariantConfig::v5();
+  int workers_per_rank = 2;
+  ptg::SchedPolicy policy = ptg::SchedPolicy::kPriority;
+  bool enable_tracing = false;
+};
+
+struct PtgExecResult {
+  ptg::Trace trace;                     ///< this rank's events
+  std::vector<std::string> class_names; ///< class id -> name (for rendering)
+  uint64_t tasks_executed = 0;
+  uint64_t expected_tasks = 0;
+  uint64_t remote_activations = 0;
+};
+
+/// Execute the plan over the PTG runtime. Collective across ranks. Works
+/// for single-contraction plans and fused multi-subroutine plans alike —
+/// `stores` must cover every store id the plan's chains reference.
+PtgExecResult execute_ptg(vc::RankCtx& rctx, const ChainPlan& plan,
+                          const StoreList& stores,
+                          const PtgExecOptions& opts);
+
+inline PtgExecResult execute_ptg(vc::RankCtx& rctx, const ChainPlan& plan,
+                                 const T2_7Storage& s,
+                                 const PtgExecOptions& opts) {
+  return execute_ptg(rctx, plan, s.stores(), opts);
+}
+
+}  // namespace mp::tce

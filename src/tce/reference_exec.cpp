@@ -1,0 +1,44 @@
+#include "tce/reference_exec.h"
+
+#include <vector>
+
+#include "ga/hash_block.h"
+#include "linalg/gemm.h"
+#include "linalg/sort4.h"
+#include "support/error.h"
+
+namespace mp::tce {
+
+void execute_reference(const ChainPlan& plan, const StoreList& stores) {
+  MP_REQUIRE(stores.size() >= plan.store_sizes.size(),
+             "execute_reference: missing tensor stores");
+  std::vector<double> a, b, c, sorted;
+
+  for (const Chain& chain : plan.chains) {
+    const TensorStore& sa = stores[static_cast<size_t>(chain.a_store)];
+    const TensorStore& sb = stores[static_cast<size_t>(chain.b_store)];
+    const TensorStore& sr = stores[static_cast<size_t>(chain.r_store)];
+
+    c.assign(static_cast<size_t>(chain.c_elems()), 0.0);  // DFILL
+    for (const GemmOp& g : chain.gemms) {
+      a.resize(static_cast<size_t>(g.m) * g.k);
+      b.resize(static_cast<size_t>(g.n) * g.k);
+      ga::get_hash_block(*sa.ga, sa.shape->index(), g.a_key, a.data());
+      ga::get_hash_block(*sb.ga, sb.shape->index(), g.b_key, b.data());
+      linalg::dgemm(g.transa, g.transb, static_cast<size_t>(g.m),
+                    static_cast<size_t>(g.n), static_cast<size_t>(g.k),
+                    g.alpha, a.data(), static_cast<size_t>(g.lda()), b.data(),
+                    static_cast<size_t>(g.ldb()), 1.0, c.data(),
+                    static_cast<size_t>(g.m));
+    }
+    sorted.resize(c.size());
+    for (const SortOp& so : chain.sorts) {
+      linalg::sort_4(c.data(), sorted.data(), chain.c_dims, so.perm,
+                     so.factor);
+      ga::add_hash_block(*sr.ga, sr.shape->index(), chain.c_key,
+                         sorted.data());
+    }
+  }
+}
+
+}  // namespace mp::tce

@@ -1,0 +1,19 @@
+// Serial reference executor: replays a ChainPlan directly, one chain after
+// another, on the calling thread. This is the ground truth every parallel
+// executor (original-style and all PTG variants) is validated against.
+#pragma once
+
+#include "tce/chain_plan.h"
+#include "tce/storage.h"
+
+namespace mp::tce {
+
+/// Execute the plan serially, accumulating into the chains' result stores.
+/// Deterministic.
+void execute_reference(const ChainPlan& plan, const StoreList& stores);
+
+inline void execute_reference(const ChainPlan& plan, const T2_7Storage& s) {
+  execute_reference(plan, s.stores());
+}
+
+}  // namespace mp::tce

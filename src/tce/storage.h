@@ -1,0 +1,29 @@
+// Bundles a tensor's block shape with the Global Array holding its data.
+#pragma once
+
+#include <vector>
+
+#include "ga/global_array.h"
+#include "tce/block_tensor.h"
+
+namespace mp::tce {
+
+struct TensorStore {
+  const BlockTensor4* shape = nullptr;
+  ga::GlobalArray* ga = nullptr;
+};
+
+/// The tensor stores a plan's chains reference via Chain::{a,b,r}_store.
+using StoreList = std::vector<TensorStore>;
+
+/// Convenience adapter for single-contraction plans (store ids 0/1/2 =
+/// A operand / B operand / result), e.g. the t2_7 contraction.
+struct T2_7Storage {
+  TensorStore v;  ///< A operand (VVVV integrals for t2_7)
+  TensorStore t;  ///< B operand (VVOO amplitudes)
+  TensorStore r;  ///< result (canonical VVOO residual blocks)
+
+  StoreList stores() const { return {v, t, r}; }
+};
+
+}  // namespace mp::tce

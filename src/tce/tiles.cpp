@@ -1,0 +1,72 @@
+#include "tce/tiles.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace mp::tce {
+namespace {
+
+void add_range(std::vector<Tile>* tiles, int n, Spin spin, bool occupied,
+               int tile_size, int num_irreps, int* next_index) {
+  int off = 0;
+  int irrep = 0;
+  while (off < n) {
+    Tile t;
+    t.index = (*next_index)++;
+    t.offset = off;
+    t.size = std::min(tile_size, n - off);
+    t.spin = spin;
+    t.occupied = occupied;
+    t.irrep = irrep;
+    irrep = (irrep + 1) % num_irreps;
+    tiles->push_back(t);
+    off += t.size;
+  }
+}
+
+}  // namespace
+
+TileSpace::TileSpace(const TileSpaceSpec& spec) : spec_(spec) {
+  MP_REQUIRE(spec.tile_size >= 1, "TileSpace: tile_size must be >= 1");
+  MP_REQUIRE(spec.n_occ_alpha >= 0 && spec.n_occ_beta >= 0 &&
+                 spec.n_virt_alpha >= 0 && spec.n_virt_beta >= 0,
+             "TileSpace: negative orbital count");
+  MP_REQUIRE(spec.num_irreps == 1 || spec.num_irreps == 2 ||
+                 spec.num_irreps == 4 || spec.num_irreps == 8,
+             "TileSpace: num_irreps must be 1, 2, 4 or 8 (abelian groups)");
+  int next = 0;
+  add_range(&occ_, spec.n_occ_alpha, Spin::kAlpha, true, spec.tile_size,
+            spec.num_irreps, &next);
+  add_range(&occ_, spec.n_occ_beta, Spin::kBeta, true, spec.tile_size,
+            spec.num_irreps, &next);
+  next = 0;
+  add_range(&virt_, spec.n_virt_alpha, Spin::kAlpha, false, spec.tile_size,
+            spec.num_irreps, &next);
+  add_range(&virt_, spec.n_virt_beta, Spin::kBeta, false, spec.tile_size,
+            spec.num_irreps, &next);
+}
+
+int TileSpace::occ_dense_offset(int tile_idx) const {
+  MP_REQUIRE(tile_idx >= 0 && tile_idx < num_occ_tiles(),
+             "occ_dense_offset: bad tile");
+  const Tile& t = occ_[static_cast<size_t>(tile_idx)];
+  return t.spin == Spin::kAlpha ? t.offset : spec_.n_occ_alpha + t.offset;
+}
+
+int TileSpace::virt_dense_offset(int tile_idx) const {
+  MP_REQUIRE(tile_idx >= 0 && tile_idx < num_virt_tiles(),
+             "virt_dense_offset: bad tile");
+  const Tile& t = virt_[static_cast<size_t>(tile_idx)];
+  return t.spin == Spin::kAlpha ? t.offset : spec_.n_virt_alpha + t.offset;
+}
+
+std::string TileSpace::describe() const {
+  std::ostringstream os;
+  os << "TileSpace{occ " << n_occ() << " orbitals in " << num_occ_tiles()
+     << " tiles, virt " << n_virt() << " orbitals in " << num_virt_tiles()
+     << " tiles, tile_size " << spec_.tile_size << "}";
+  return os.str();
+}
+
+}  // namespace mp::tce

@@ -1,0 +1,97 @@
+// Orbital tile spaces, following NWChem's Tensor Contraction Engine.
+//
+// The TCE splits the spin-orbital basis into *tiles*: contiguous groups of
+// orbitals sharing occupation (occupied/virtual) and spin (alpha/beta)
+// labels. Block-sparse tensors are stored per tile-block, and a block
+// exists only when the spin labels conserve total spin. Chain lengths in
+// the generated GEMM chains vary with how many tile pairs satisfy the spin
+// guards — the source of the load imbalance the paper discusses.
+//
+// (Real TCE also carries point-group spatial symmetry; we reproduce spin
+// symmetry only, which already yields the guarded-IF structure. Documented
+// as a substitution in DESIGN.md.)
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mp::tce {
+
+enum class Spin : int { kAlpha = 0, kBeta = 1 };
+
+struct Tile {
+  int index = 0;     ///< global tile index
+  int offset = 0;    ///< first spin-orbital of the tile within its space
+  int size = 0;      ///< number of spin-orbitals in the tile
+  Spin spin = Spin::kAlpha;
+  bool occupied = false;
+  int irrep = 0;     ///< point-group irreducible representation label
+};
+
+/// Parameters of a tiled spin-orbital space.
+struct TileSpaceSpec {
+  int n_occ_alpha = 0;
+  int n_occ_beta = 0;
+  int n_virt_alpha = 0;
+  int n_virt_beta = 0;
+  int tile_size = 0;  ///< target tile size (last tile of a range may be smaller)
+  /// Number of point-group irreps (abelian groups: 1 = C1, 2 = Cs/C2/C2h-
+  /// style, 4 = C2v/D2, 8 = D2h). Tiles are assigned irreps cyclically
+  /// within each spin/occupation range; blocks must conserve the irrep
+  /// product (XOR for abelian groups) in addition to spin.
+  int num_irreps = 1;
+};
+
+class TileSpace {
+ public:
+  explicit TileSpace(const TileSpaceSpec& spec);
+
+  const TileSpaceSpec& spec() const { return spec_; }
+
+  /// Occupied tiles (alpha tiles first, then beta), TCE ordering.
+  const std::vector<Tile>& occ_tiles() const { return occ_; }
+  /// Virtual tiles (alpha first, then beta).
+  const std::vector<Tile>& virt_tiles() const { return virt_; }
+
+  int num_occ_tiles() const { return static_cast<int>(occ_.size()); }
+  int num_virt_tiles() const { return static_cast<int>(virt_.size()); }
+
+  /// Total spin orbitals.
+  int n_occ() const { return spec_.n_occ_alpha + spec_.n_occ_beta; }
+  int n_virt() const { return spec_.n_virt_alpha + spec_.n_virt_beta; }
+
+  /// Offset of an occupied/virtual tile within the *dense* occupied/virtual
+  /// spin-orbital range (alpha orbitals first, then beta).
+  int occ_dense_offset(int tile_idx) const;
+  int virt_dense_offset(int tile_idx) const;
+
+  std::string describe() const;
+
+ private:
+  TileSpaceSpec spec_;
+  std::vector<Tile> occ_;
+  std::vector<Tile> virt_;
+};
+
+/// Spin conservation guard for a 2-in/2-out tensor block: the generated
+/// TCE code only touches blocks where spin is conserved.
+inline bool spin_conserving(Spin a, Spin b, Spin c, Spin d) {
+  return static_cast<int>(a) + static_cast<int>(b) ==
+         static_cast<int>(c) + static_cast<int>(d);
+}
+
+/// Spatial (point-group) symmetry guard: the product of the four irreps
+/// must contain the totally symmetric representation. For abelian groups
+/// the product is the bitwise XOR of the labels.
+inline bool irrep_conserving(int a, int b, int c, int d) {
+  return ((a ^ b) ^ (c ^ d)) == 0;
+}
+
+/// Combined TCE block guard.
+inline bool block_allowed(const Tile& a, const Tile& b, const Tile& c,
+                          const Tile& d) {
+  return spin_conserving(a.spin, b.spin, c.spin, d.spin) &&
+         irrep_conserving(a.irrep, b.irrep, c.irrep, d.irrep);
+}
+
+}  // namespace mp::tce

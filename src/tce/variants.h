@@ -1,0 +1,53 @@
+// The five algorithmic variants of Section V of the paper.
+//
+//  | variant | GEMMs        | SORT     | WRITE    | priorities |
+//  |---------|--------------|----------|----------|------------|
+//  | v1      | serial chain | parallel | parallel | yes        |
+//  | v2      | parallel     | parallel | single   | no         |
+//  | v3      | parallel     | parallel | parallel | yes        |
+//  | v4      | parallel     | parallel | single   | yes        |
+//  | v5      | parallel     | single   | single   | yes        |
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mp::tce {
+
+struct VariantConfig {
+  std::string name;
+  bool parallel_gemms = true;   ///< false: serial chain with DFILL (Fig. 1)
+  bool parallel_sorts = true;   ///< one SORT_i task per fired guard (Fig. 6)
+  bool parallel_writes = false; ///< one WRITE_C_i per SORT_i (Fig. 7)
+  bool priorities = true;       ///< decreasing function of chain number
+
+  static VariantConfig v1() { return {"v1", false, true, true, true}; }
+  static VariantConfig v2() { return {"v2", true, true, false, false}; }
+  static VariantConfig v3() { return {"v3", true, true, true, true}; }
+  static VariantConfig v4() { return {"v4", true, true, false, true}; }
+  static VariantConfig v5() { return {"v5", true, false, false, true}; }
+  static std::vector<VariantConfig> all();
+
+  /// Throws InvalidArgument on inconsistent combinations
+  /// (parallel writes require parallel sorts).
+  void validate() const;
+};
+
+/// The paper's priority expression: max_L1 - L1 + offset * P, with offset
+/// +5 for reader tasks, +1 for GEMMs, 0 otherwise (Section IV-C). The +5
+/// reader offset creates the 5*P-deep prefetch pipeline.
+struct PriorityScheme {
+  int max_l1 = 0;  ///< total number of chains
+  int nranks = 1;  ///< P
+
+  double reader(int l1) const { return value(l1, 5); }
+  double gemm(int l1) const { return value(l1, 1); }
+  double other(int l1) const { return value(l1, 0); }
+
+ private:
+  double value(int l1, int offset) const {
+    return static_cast<double>(max_l1 - l1 + offset * nranks);
+  }
+};
+
+}  // namespace mp::tce

@@ -1,0 +1,104 @@
+#include "vc/cluster.h"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "support/error.h"
+
+namespace mp::vc {
+
+int RankCtx::nranks() const { return cluster_->nranks(); }
+
+void RankCtx::send(int dst, int tag, Payload payload) {
+  Message m;
+  m.src = rank_;
+  m.dst = dst;
+  m.tag = tag;
+  m.payload = std::move(payload);
+  cluster_->fabric().send(std::move(m));
+}
+
+Mailbox& RankCtx::mailbox() { return cluster_->mailbox(rank_); }
+
+void RankCtx::barrier() { cluster_->barrier_wait(); }
+
+double RankCtx::allreduce_sum(double x) {
+  return cluster_->allreduce(x, rank_, /*max_mode=*/false);
+}
+
+double RankCtx::allreduce_max(double x) {
+  return cluster_->allreduce(x, rank_, /*max_mode=*/true);
+}
+
+Cluster::Cluster(int nranks, FabricConfig fabric_cfg)
+    : nranks_(nranks),
+      mailboxes_(static_cast<size_t>(nranks)),
+      barrier_(nranks),
+      counters_(kNumCounters),
+      reduce_slots_(static_cast<size_t>(nranks), 0.0) {
+  MP_REQUIRE(nranks >= 1, "Cluster: nranks must be >= 1");
+  for (auto& c : counters_) c.store(0);
+  fabric_ = std::make_unique<Fabric>(&mailboxes_, fabric_cfg);
+}
+
+Cluster::~Cluster() {
+  for (auto& mb : mailboxes_) mb.close();
+}
+
+void Cluster::run(const std::function<void(RankCtx&)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(nranks_));
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(nranks_));
+
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([this, r, &fn, &errors] {
+      RankCtx ctx(this, r);
+      try {
+        fn(ctx);
+      } catch (...) {
+        errors[static_cast<size_t>(r)] = std::current_exception();
+        // A dead rank must not deadlock the others at a collective; close
+        // every mailbox so blocking pops return, and let remaining barrier
+        // arrivals proceed by dropping this rank via arrive_and_drop.
+        for (auto& mb : mailboxes_) mb.close();
+        barrier_.arrive_and_drop();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+long Cluster::fetch_add_counter(int which, long delta) {
+  MP_REQUIRE(which >= 0 && which < kNumCounters, "bad counter index");
+  return counters_[static_cast<size_t>(which)].fetch_add(delta);
+}
+
+void Cluster::reset_counter(int which, long value) {
+  MP_REQUIRE(which >= 0 && which < kNumCounters, "bad counter index");
+  counters_[static_cast<size_t>(which)].store(value);
+}
+
+void Cluster::barrier_wait() { barrier_.arrive_and_wait(); }
+
+double Cluster::allreduce(double x, int rank, bool max_mode) {
+  reduce_slots_[static_cast<size_t>(rank)] = x;
+  barrier_wait();  // all contributions visible after this
+  if (rank == 0) {
+    double acc = reduce_slots_[0];
+    for (int r = 1; r < nranks_; ++r) {
+      const double v = reduce_slots_[static_cast<size_t>(r)];
+      acc = max_mode ? std::max(acc, v) : acc + v;
+    }
+    reduce_result_ = acc;
+  }
+  barrier_wait();  // result visible to all
+  const double out = reduce_result_;
+  barrier_wait();  // protect slots/result from the next allreduce
+  return out;
+}
+
+}  // namespace mp::vc

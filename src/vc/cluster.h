@@ -1,0 +1,91 @@
+// An in-process virtual cluster: R ranks executed SPMD on R threads, a
+// message fabric between them, and the handful of collectives the CC code
+// needs (barrier, allreduce). This substitutes for MPI at real-execution
+// scale; the discrete-event simulator (src/sim) models network *performance*
+// at paper scale, while this module provides network *semantics* for
+// correctness runs.
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "vc/fabric.h"
+#include "vc/mailbox.h"
+
+namespace mp::vc {
+
+class Cluster;
+
+/// Per-rank handle passed to the SPMD function. All members are safe to call
+/// concurrently from different ranks.
+class RankCtx {
+ public:
+  RankCtx(Cluster* cluster, int rank) : cluster_(cluster), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int nranks() const;
+
+  /// Point-to-point send to `dst`'s mailbox.
+  void send(int dst, int tag, Payload payload);
+
+  /// This rank's inbound mailbox.
+  Mailbox& mailbox();
+
+  /// Collective: all ranks must call.
+  void barrier();
+
+  /// Collective sum-reduce; every rank receives the global sum.
+  double allreduce_sum(double x);
+
+  /// Collective max-reduce.
+  double allreduce_max(double x);
+
+  Cluster& cluster() { return *cluster_; }
+
+ private:
+  Cluster* cluster_;
+  int rank_;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(int nranks, FabricConfig fabric_cfg = {});
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int nranks() const { return nranks_; }
+  Fabric& fabric() { return *fabric_; }
+  Mailbox& mailbox(int rank) { return mailboxes_[static_cast<size_t>(rank)]; }
+
+  /// Run `fn(ctx)` once per rank, each on its own thread, and join.
+  /// Exceptions thrown by any rank are rethrown (first one wins).
+  void run(const std::function<void(RankCtx&)>& fn);
+
+  /// A process-wide shared counter (the Global Arrays NXTVAL primitive is
+  /// built on this). Returns the pre-increment value.
+  long fetch_add_counter(int which, long delta);
+  void reset_counter(int which, long value);
+  static constexpr int kNumCounters = 8;
+
+  // --- internal, used by RankCtx collectives ---
+  void barrier_wait();
+  double allreduce(double x, int rank, bool max_mode);
+
+ private:
+  int nranks_;
+  std::vector<Mailbox> mailboxes_;
+  std::unique_ptr<Fabric> fabric_;
+  std::barrier<> barrier_;
+  std::vector<std::atomic<long>> counters_;
+
+  // allreduce scratch: contributions land in slots, rank 0 combines.
+  std::vector<double> reduce_slots_;
+  double reduce_result_ = 0.0;
+};
+
+}  // namespace mp::vc

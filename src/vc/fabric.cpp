@@ -1,0 +1,89 @@
+#include "vc/fabric.h"
+
+#include "support/error.h"
+
+namespace mp::vc {
+
+Fabric::Fabric(std::vector<Mailbox>* mailboxes, FabricConfig cfg)
+    : mailboxes_(mailboxes),
+      cfg_(cfg),
+      delayed_(cfg.latency_us > 0.0 || cfg.bandwidth_Bps > 0.0) {
+  MP_REQUIRE(mailboxes_ != nullptr && !mailboxes_->empty(),
+             "Fabric: need at least one mailbox");
+  if (delayed_) {
+    delivery_thread_ = std::thread([this] { delivery_loop(); });
+  }
+}
+
+Fabric::~Fabric() { shutdown(); }
+
+void Fabric::send(Message m) {
+  MP_REQUIRE(m.dst >= 0 && static_cast<size_t>(m.dst) < mailboxes_->size(),
+             "Fabric::send: bad destination rank");
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(m.payload.size(), std::memory_order_relaxed);
+
+  if (!delayed_) {
+    (*mailboxes_)[static_cast<size_t>(m.dst)].push(std::move(m));
+    return;
+  }
+
+  using namespace std::chrono;
+  const double service_us =
+      cfg_.bandwidth_Bps > 0.0
+          ? static_cast<double>(m.payload.size()) / cfg_.bandwidth_Bps * 1e6
+          : 0.0;
+  const auto delay = microseconds(
+      static_cast<int64_t>(cfg_.latency_us + service_us));
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) return;
+    pending_.push(
+        Pending{steady_clock::now() + delay, next_seq_++, std::move(m)});
+  }
+  cv_.notify_one();
+}
+
+void Fabric::delivery_loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (pending_.empty()) {
+      if (stopping_) return;
+      cv_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
+      continue;
+    }
+    const auto when = pending_.top().deliver_at;
+    if (cv_.wait_until(lock, when,
+                       [&] { return stopping_ && pending_.empty(); })) {
+      return;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    while (!pending_.empty() && pending_.top().deliver_at <= now) {
+      Message m = std::move(const_cast<Pending&>(pending_.top()).msg);
+      pending_.pop();
+      lock.unlock();
+      (*mailboxes_)[static_cast<size_t>(m.dst)].push(std::move(m));
+      lock.lock();
+    }
+  }
+}
+
+void Fabric::shutdown() {
+  if (!delayed_) return;
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_ && !delivery_thread_.joinable()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (delivery_thread_.joinable()) delivery_thread_.join();
+  // Flush anything still pending so no message is lost at shutdown.
+  std::lock_guard lock(mu_);
+  while (!pending_.empty()) {
+    Message m = std::move(const_cast<Pending&>(pending_.top()).msg);
+    pending_.pop();
+    (*mailboxes_)[static_cast<size_t>(m.dst)].push(std::move(m));
+  }
+}
+
+}  // namespace mp::vc

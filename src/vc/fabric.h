@@ -1,0 +1,74 @@
+// The interconnect of the virtual cluster. Routes messages from sender to
+// the destination rank's mailbox. With a zero-latency config (the default)
+// delivery is immediate; with a configured latency/bandwidth a background
+// delivery thread holds each message until its arrival time, preserving
+// per-(src,dst) FIFO ordering like a real network conduit.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "vc/mailbox.h"
+#include "vc/message.h"
+
+namespace mp::vc {
+
+struct FabricConfig {
+  /// One-way latency added to every message, microseconds.
+  double latency_us = 0.0;
+  /// Per-link bandwidth in bytes/second (0 = infinite).
+  double bandwidth_Bps = 0.0;
+};
+
+class Fabric {
+ public:
+  Fabric(std::vector<Mailbox>* mailboxes, FabricConfig cfg);
+  ~Fabric();
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Post a message for delivery. dst must be a valid rank.
+  void send(Message m);
+
+  /// Total messages and bytes that have passed through the fabric.
+  uint64_t messages_sent() const { return messages_sent_.load(); }
+  uint64_t bytes_sent() const { return bytes_sent_.load(); }
+
+  /// Stop the delivery thread (flushes pending messages first).
+  void shutdown();
+
+ private:
+  struct Pending {
+    std::chrono::steady_clock::time_point deliver_at;
+    uint64_t seq;  // tie-break to keep FIFO order for equal times
+    Message msg;
+    bool operator>(const Pending& o) const {
+      if (deliver_at != o.deliver_at) return deliver_at > o.deliver_at;
+      return seq > o.seq;
+    }
+  };
+
+  void delivery_loop();
+
+  std::vector<Mailbox>* mailboxes_;
+  FabricConfig cfg_;
+  bool delayed_;
+
+  std::atomic<uint64_t> messages_sent_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> pending_;
+  uint64_t next_seq_ = 0;
+  bool stopping_ = false;
+  std::thread delivery_thread_;
+};
+
+}  // namespace mp::vc

@@ -1,0 +1,76 @@
+// Blocking multi-producer multi-consumer mailbox holding inbound messages of
+// one rank. Supports non-blocking polls (used by the runtime's comm thread)
+// and bounded waits, plus a close() that wakes all waiters (shutdown path).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "vc/message.h"
+
+namespace mp::vc {
+
+class Mailbox {
+ public:
+  /// Enqueue a message. Returns false if the mailbox was closed.
+  bool push(Message m) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_) return false;
+      queue_.push_back(std::move(m));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop.
+  std::optional<Message> try_pop() {
+    std::lock_guard lock(mu_);
+    return pop_locked();
+  }
+
+  /// Pop, waiting up to `timeout`. Returns nullopt on timeout or close.
+  std::optional<Message> pop_wait(std::chrono::microseconds timeout) {
+    std::unique_lock lock(mu_);
+    cv_.wait_for(lock, timeout, [&] { return closed_ || !queue_.empty(); });
+    return pop_locked();
+  }
+
+  /// Wake all waiters; subsequent pushes are rejected. Messages already
+  /// enqueued can still be drained with try_pop().
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  std::optional<Message> pop_locked() {
+    if (queue_.empty()) return std::nullopt;
+    Message m = std::move(queue_.front());
+    queue_.pop_front();
+    return m;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace mp::vc

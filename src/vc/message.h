@@ -1,0 +1,87 @@
+// Wire-level message for the virtual cluster, plus a tiny POD serializer.
+//
+// Messages are immutable once posted to the fabric (C++ Core Guidelines
+// CP.mess): the sender moves the payload in and never touches it again.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+
+namespace mp::vc {
+
+using Payload = std::vector<uint8_t>;
+
+struct Message {
+  int src = -1;
+  int dst = -1;
+  int tag = 0;
+  Payload payload;
+};
+
+/// Append-only POD writer.
+class WireWriter {
+ public:
+  template <typename T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const size_t at = buf_.size();
+    buf_.resize(at + sizeof(T));
+    std::memcpy(buf_.data() + at, &v, sizeof(T));
+  }
+
+  void put_bytes(const void* p, size_t n) {
+    const size_t at = buf_.size();
+    buf_.resize(at + n);
+    std::memcpy(buf_.data() + at, p, n);
+  }
+
+  void put_doubles(const double* p, size_t n) {
+    put<uint64_t>(n);
+    put_bytes(p, n * sizeof(double));
+  }
+
+  Payload take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  Payload buf_;
+};
+
+/// Sequential POD reader over a received payload.
+class WireReader {
+ public:
+  explicit WireReader(const Payload& p) : data_(p.data()), size_(p.size()) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    MP_REQUIRE(pos_ + sizeof(T) <= size_, "WireReader: truncated message");
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::vector<double> get_doubles() {
+    const uint64_t n = get<uint64_t>();
+    MP_REQUIRE(pos_ + n * sizeof(double) <= size_,
+               "WireReader: truncated double array");
+    std::vector<double> out(n);
+    std::memcpy(out.data(), data_ + pos_, n * sizeof(double));
+    pos_ += n * sizeof(double);
+    return out;
+  }
+
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace mp::vc

@@ -1,0 +1,145 @@
+// Tests for the tiled-Cholesky app (the generality demonstration of the
+// PTG runtime) and its unblocked kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/cholesky.h"
+#include "linalg/cholesky.h"
+#include "linalg/gemm.h"
+#include "support/rng.h"
+#include "vc/cluster.h"
+
+namespace mp {
+namespace {
+
+TEST(PotrfKernel, FactorsKnownMatrix) {
+  // A = [[4,2],[2,3]] -> L = [[2,0],[1,sqrt(2)]]
+  std::vector<double> a{4.0, 2.0, 2.0, 3.0};  // column-major 2x2
+  linalg::potrf_lower(2, a.data(), 2);
+  EXPECT_DOUBLE_EQ(a[0], 2.0);
+  EXPECT_DOUBLE_EQ(a[1], 1.0);
+  EXPECT_DOUBLE_EQ(a[2], 0.0);  // upper zeroed
+  EXPECT_NEAR(a[3], std::sqrt(2.0), 1e-14);
+}
+
+TEST(PotrfKernel, RejectsIndefiniteMatrix) {
+  std::vector<double> a{1.0, 2.0, 2.0, 1.0};  // eigenvalues 3, -1
+  EXPECT_THROW(linalg::potrf_lower(2, a.data(), 2), DataError);
+}
+
+TEST(PotrfKernel, ReconstructsRandomSpd) {
+  const size_t n = 12;
+  const auto a = apps::make_spd_matrix(n, 3);
+  auto l = a;
+  linalg::potrf_lower(n, l.data(), n);
+  EXPECT_LT(apps::cholesky_residual(a, l, n), 1e-10);
+}
+
+TEST(TrsmKernel, SolvesAgainstTriangularFactor) {
+  // L = [[2,0],[1,1]]; B = X * L^T  with X = [[1,2],[3,4]] (column-major).
+  const std::vector<double> l{2.0, 1.0, 0.0, 1.0};
+  const std::vector<double> x{1.0, 3.0, 2.0, 4.0};
+  // B = X * L^T: B(i,j) = sum_k X(i,k) * L(j,k)
+  std::vector<double> bmat(4, 0.0);
+  linalg::dgemm('N', 'T', 2, 2, 2, 1.0, x.data(), 2, l.data(), 2, 0.0,
+                bmat.data(), 2);
+  linalg::trsm_rlt(2, 2, l.data(), 2, bmat.data(), 2);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(bmat[i], x[i], 1e-13);
+}
+
+TEST(SyrkKernel, UpdatesLowerTriangle) {
+  // C -= A * A^T with A = I: diagonal decreases by 1, upper untouched.
+  std::vector<double> a{1.0, 0.0, 0.0, 1.0};
+  std::vector<double> c{5.0, 2.0, 99.0, 5.0};  // c[2] is upper (0,1)
+  linalg::syrk_ln(2, 2, a.data(), 2, c.data(), 2);
+  EXPECT_DOUBLE_EQ(c[0], 4.0);
+  EXPECT_DOUBLE_EQ(c[1], 2.0);
+  EXPECT_DOUBLE_EQ(c[2], 99.0);  // upper triangle not referenced
+  EXPECT_DOUBLE_EQ(c[3], 4.0);
+}
+
+struct CholeskyCase {
+  int tiles, tile_size, nranks, workers;
+};
+
+class TiledCholesky : public ::testing::TestWithParam<CholeskyCase> {};
+
+TEST_P(TiledCholesky, MatchesDirectFactorization) {
+  const auto [tiles, tile_size, nranks, workers] = GetParam();
+  const size_t n = static_cast<size_t>(tiles) * tile_size;
+  const auto a = apps::make_spd_matrix(n, 7);
+
+  vc::Cluster cluster(nranks);
+  apps::TiledCholeskyOptions opts;
+  opts.tiles = tiles;
+  opts.tile_size = tile_size;
+  opts.workers_per_rank = workers;
+  const auto res = apps::tiled_cholesky(cluster, a, opts);
+
+  EXPECT_LT(apps::cholesky_residual(a, res.l, n), 1e-9);
+
+  auto direct = a;
+  linalg::potrf_lower(n, direct.data(), n);
+  double md = 0.0;
+  for (size_t i = 0; i < n * n; ++i) {
+    md = std::max(md, std::fabs(direct[i] - res.l[i]));
+  }
+  EXPECT_LT(md, 1e-10);
+
+  // Task count: T potrf + T(T-1)/2 trsm + T(T-1)/2 syrk + C(T,3) gemm.
+  const uint64_t T = static_cast<uint64_t>(tiles);
+  const uint64_t expect =
+      T + T * (T - 1) / 2 + T * (T - 1) / 2 + T * (T - 1) * (T - 2) / 6;
+  EXPECT_EQ(res.tasks_executed, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TiledCholesky,
+    ::testing::Values(CholeskyCase{1, 8, 1, 1}, CholeskyCase{2, 6, 1, 2},
+                      CholeskyCase{4, 5, 2, 2}, CholeskyCase{5, 4, 3, 2},
+                      CholeskyCase{6, 4, 4, 3}, CholeskyCase{8, 3, 2, 4}),
+    [](const auto& info) {
+      const auto& c = info.param;
+      return "T" + std::to_string(c.tiles) + "b" +
+             std::to_string(c.tile_size) + "r" + std::to_string(c.nranks) +
+             "w" + std::to_string(c.workers);
+    });
+
+TEST(TiledCholeskyMisc, TracingRecordsAllTasks) {
+  const size_t n = 4 * 4;
+  const auto a = apps::make_spd_matrix(n, 11);
+  vc::Cluster cluster(2);
+  apps::TiledCholeskyOptions opts;
+  opts.tiles = 4;
+  opts.tile_size = 4;
+  opts.enable_tracing = true;
+  const auto res = apps::tiled_cholesky(cluster, a, opts);
+  size_t compute_events = 0;
+  for (const auto& e : res.trace.events()) compute_events += !e.is_comm;
+  EXPECT_EQ(compute_events, res.tasks_executed);
+}
+
+TEST(TiledCholeskyMisc, RejectsBadArguments) {
+  vc::Cluster cluster(1);
+  apps::TiledCholeskyOptions opts;
+  opts.tiles = 2;
+  opts.tile_size = 4;
+  std::vector<double> wrong_size(10, 0.0);
+  EXPECT_THROW(apps::tiled_cholesky(cluster, wrong_size, opts),
+               InvalidArgument);
+}
+
+TEST(TiledCholeskyMisc, IndefiniteMatrixSurfacesError) {
+  const size_t n = 8;
+  std::vector<double> a(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) a[i * n + i] = -1.0;  // negative definite
+  vc::Cluster cluster(2);
+  apps::TiledCholeskyOptions opts;
+  opts.tiles = 2;
+  opts.tile_size = 4;
+  EXPECT_THROW(apps::tiled_cholesky(cluster, a, opts), DataError);
+}
+
+}  // namespace
+}  // namespace mp

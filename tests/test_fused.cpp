@@ -1,0 +1,279 @@
+// Tests for the second ported subroutine (the hole-hole ladder) and for
+// fused multi-subroutine execution — the paper's future-work direction:
+// several CC subroutines running under one runtime context with no
+// synchronization between them, sharing tensors directly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cc/ccsd.h"
+#include "cc/integration.h"
+#include "cc/model.h"
+#include "sim/ptg_sim.h"
+#include "sim/task_graph.h"
+#include "support/rng.h"
+#include "tce/chain_plan.h"
+#include "tce/inspector.h"
+
+namespace mp::cc {
+namespace {
+
+std::vector<double> mp2_tau(const SpinOrbitalSystem& sys) {
+  const int O = sys.n_occ(), V = sys.n_virt();
+  std::vector<double> tau(static_cast<size_t>(V) * V * O * O);
+  for (int a = 0; a < V; ++a)
+    for (int b = 0; b < V; ++b)
+      for (int i = 0; i < O; ++i)
+        for (int j = 0; j < O; ++j) {
+          const double d = sys.f(i) + sys.f(j) - sys.f(O + a) - sys.f(O + b);
+          tau[((static_cast<size_t>(a) * V + b) * O + i) * O + j] =
+              sys.v(i, j, O + a, O + b) / d;
+        }
+  return tau;
+}
+
+double max_abs_diff(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  double m = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+TEST(DenseHhLadder, MatchesBruteForce) {
+  const auto sys = make_synthetic(3, 3, 1.5, 0.1, 5);
+  const int O = sys.n_occ(), V = sys.n_virt();
+  const size_t n2 = static_cast<size_t>(V) * V * O * O;
+  std::vector<double> tau(n2);
+  Rng rng(9);
+  for (auto& x : tau) x = rng.uniform(-1.0, 1.0);
+  std::vector<double> out(n2, 0.0);
+  dense_hh_ladder(sys, tau, out);
+  auto t2i = [&](int a, int b, int i, int j) {
+    return ((static_cast<size_t>(a) * V + b) * O + i) * O + j;
+  };
+  for (int b : {0, 2}) {
+    for (int j : {1, 4}) {
+      double s = 0.0;
+      for (int m = 0; m < O; ++m)
+        for (int n = 0; n < O; ++n) {
+          s += 0.5 * sys.v(m, n, 0, j) * tau[t2i(1, b, m, n)];
+        }
+      EXPECT_NEAR(out[t2i(1, b, 0, j)], s, 1e-12);
+    }
+  }
+}
+
+TEST(DenseHhLadder, SizeValidation) {
+  const auto sys = make_synthetic(1, 2, 1.0, 0.1, 1);
+  std::vector<double> small(3, 0.0), out(3, 0.0);
+  EXPECT_THROW(dense_hh_ladder(sys, small, out), InvalidArgument);
+}
+
+TEST(FusePlans, RemapsStoresAndRenumbersChains) {
+  tce::ChainPlan p1;
+  p1.store_sizes = {100, 200, 300};
+  tce::Chain c1;
+  c1.id = 0;
+  c1.gemms.resize(1);
+  p1.chains.push_back(c1);
+
+  tce::ChainPlan p2;
+  p2.store_sizes = {400, 200, 300};
+  tce::Chain c2;
+  c2.id = 0;
+  c2.gemms.resize(2);
+  p2.chains.push_back(c2);
+  p2.chains.push_back(c2);
+
+  const auto fused = tce::fuse_plans(p1, p2, {3, 1, 2});
+  ASSERT_EQ(fused.store_sizes.size(), 4u);
+  EXPECT_EQ(fused.store_sizes[3], 400);
+  ASSERT_EQ(fused.chains.size(), 3u);
+  EXPECT_EQ(fused.chains[0].id, 0);
+  EXPECT_EQ(fused.chains[1].id, 1);
+  EXPECT_EQ(fused.chains[2].id, 2);
+  EXPECT_EQ(fused.chains[1].a_store, 3);
+  EXPECT_EQ(fused.chains[1].b_store, 1);
+  EXPECT_EQ(fused.chains[1].r_store, 2);
+  EXPECT_EQ(fused.chains[0].a_store, 0);  // p1 chains unchanged
+}
+
+TEST(FusePlans, RejectsMismatchedSharedStore) {
+  tce::ChainPlan p1;
+  p1.store_sizes = {100, 200, 300};
+  tce::ChainPlan p2;
+  p2.store_sizes = {400, 999, 300};  // store 1 shared but different size
+  EXPECT_THROW(tce::fuse_plans(p1, p2, {3, 1, 2}), InvalidArgument);
+}
+
+TEST(FusePlans, RejectsNonDenseStoreIds) {
+  tce::ChainPlan p1;
+  p1.store_sizes = {100, 200, 300};
+  tce::ChainPlan p2;
+  p2.store_sizes = {400, 200, 300};
+  EXPECT_THROW(tce::fuse_plans(p1, p2, {5, 1, 2}), InvalidArgument);
+}
+
+class HhLadderIntegration : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sys_ = make_synthetic(3, 3, 1.5, 0.1, 41);
+    ladder_ = std::make_unique<DistributedLadder>(sys_, 2, 2);
+    tau_ = mp2_tau(sys_);
+    pp_expected_.assign(tau_.size(), 0.0);
+    dense_ladder(sys_, tau_, pp_expected_);
+    hh_expected_.assign(tau_.size(), 0.0);
+    dense_hh_ladder(sys_, tau_, hh_expected_);
+  }
+
+  SpinOrbitalSystem sys_;
+  std::unique_ptr<DistributedLadder> ladder_;
+  std::vector<double> tau_;
+  std::vector<double> pp_expected_, hh_expected_;
+};
+
+TEST_F(HhLadderIntegration, PlansAreDistinct) {
+  EXPECT_GT(ladder_->plan(Contraction::kHhLadder).chains.size(), 0u);
+  EXPECT_EQ(ladder_->plan(Contraction::kFused).chains.size(),
+            ladder_->plan(Contraction::kT2_7).chains.size() +
+                ladder_->plan(Contraction::kHhLadder).chains.size());
+  // hh chains use 'N','N' GEMMs; pp chains 'N','T'.
+  EXPECT_EQ(ladder_->plan(Contraction::kHhLadder).chains[0].gemms[0].transb,
+            'N');
+  EXPECT_EQ(ladder_->plan(Contraction::kT2_7).chains[0].gemms[0].transb, 'T');
+}
+
+TEST_F(HhLadderIntegration, ReferenceMatchesDense) {
+  LadderRunOptions opts;
+  opts.kind = ExecKind::kReference;
+  opts.contraction = Contraction::kHhLadder;
+  const auto res = ladder_->run(tau_, opts);
+  EXPECT_LT(max_abs_diff(res.r_dense, hh_expected_), 1e-12);
+}
+
+TEST_F(HhLadderIntegration, OriginalMatchesDense) {
+  LadderRunOptions opts;
+  opts.kind = ExecKind::kOriginal;
+  opts.contraction = Contraction::kHhLadder;
+  const auto res = ladder_->run(tau_, opts);
+  EXPECT_LT(max_abs_diff(res.r_dense, hh_expected_), 1e-12);
+}
+
+TEST_F(HhLadderIntegration, AllPtgVariantsMatchDense) {
+  for (const auto& variant : tce::VariantConfig::all()) {
+    LadderRunOptions opts;
+    opts.kind = ExecKind::kPtg;
+    opts.contraction = Contraction::kHhLadder;
+    opts.variant = variant;
+    const auto res = ladder_->run(tau_, opts);
+    EXPECT_LT(max_abs_diff(res.r_dense, hh_expected_), 1e-12)
+        << "variant " << variant.name;
+  }
+}
+
+TEST_F(HhLadderIntegration, FusedComputesBothContributions) {
+  std::vector<double> both(tau_.size());
+  for (size_t i = 0; i < both.size(); ++i) {
+    both[i] = pp_expected_[i] + hh_expected_[i];
+  }
+  for (const auto kind : {ExecKind::kReference, ExecKind::kOriginal,
+                          ExecKind::kPtg}) {
+    LadderRunOptions opts;
+    opts.kind = kind;
+    opts.contraction = Contraction::kFused;
+    const auto res = ladder_->run(tau_, opts);
+    EXPECT_LT(max_abs_diff(res.r_dense, both), 1e-12)
+        << "exec kind " << static_cast<int>(kind);
+  }
+}
+
+TEST_F(HhLadderIntegration, FusedPtgRunsBothSubroutinesInOneContext) {
+  LadderRunOptions opts;
+  opts.kind = ExecKind::kPtg;
+  opts.contraction = Contraction::kFused;
+  opts.enable_tracing = true;
+  const auto res = ladder_->run(tau_, opts);
+  // Tasks from chains of both subroutines must appear.
+  const auto& pp = ladder_->plan(Contraction::kT2_7);
+  bool saw_pp = false, saw_hh = false;
+  for (const auto& e : res.trace.events()) {
+    if (e.is_comm) continue;
+    if (e.p[0] < static_cast<int32_t>(pp.chains.size())) saw_pp = true;
+    if (e.p[0] >= static_cast<int32_t>(pp.chains.size())) saw_hh = true;
+  }
+  EXPECT_TRUE(saw_pp);
+  EXPECT_TRUE(saw_hh);
+}
+
+TEST(CcsdFused, AllKernelRoutesGiveSameEnergy) {
+  const auto sys = make_synthetic(2, 3, 1.5, 0.1, 77);
+  const auto dense = run_ccsd(sys);
+  ASSERT_TRUE(dense.converged);
+
+  DistributedLadder ladder(sys, 2, 2);
+
+  // Route 1: pp distributed, hh dense.
+  {
+    CcsdOptions o;
+    LadderRunOptions l;
+    l.kind = ExecKind::kPtg;
+    l.contraction = Contraction::kT2_7;
+    o.ladder = ladder.make_kernel(l);
+    const auto r = run_ccsd(sys, o);
+    ASSERT_TRUE(r.converged);
+    EXPECT_NEAR(r.e_corr, dense.e_corr, 1e-13);
+  }
+  // Route 2: both distributed separately.
+  {
+    CcsdOptions o;
+    LadderRunOptions lp, lh;
+    lp.kind = lh.kind = ExecKind::kPtg;
+    lp.contraction = Contraction::kT2_7;
+    lh.contraction = Contraction::kHhLadder;
+    o.ladder = ladder.make_kernel(lp);
+    o.hh_ladder = ladder.make_kernel(lh);
+    const auto r = run_ccsd(sys, o);
+    ASSERT_TRUE(r.converged);
+    EXPECT_NEAR(r.e_corr, dense.e_corr, 1e-13);
+  }
+  // Route 3: fused — both subroutines under one runtime context.
+  {
+    CcsdOptions o;
+    LadderRunOptions lf;
+    lf.kind = ExecKind::kPtg;
+    lf.contraction = Contraction::kFused;
+    o.combined_ladders = ladder.make_kernel(lf);
+    const auto r = run_ccsd(sys, o);
+    ASSERT_TRUE(r.converged);
+    EXPECT_NEAR(r.e_corr, dense.e_corr, 1e-13);
+  }
+}
+
+TEST(FusedSim, FusedPlanSimulates) {
+  // The simulator accepts fused plans directly (store-aware owner mapping).
+  const auto sys = make_synthetic(3, 4, 1.5, 0.1, 55);
+  DistributedLadder ladder(sys, 2, 2);
+  const auto& fused = ladder.plan(Contraction::kFused);
+
+  sim::GraphOptions gopts;
+  gopts.variant = tce::VariantConfig::v5();
+  gopts.nodes = 4;
+  const auto g = sim::build_graph(fused, gopts);
+  sim::SimOptions sopts;
+  sopts.cores_per_node = 2;
+  const auto res = sim::simulate_ptg(g, sopts);
+  EXPECT_GT(res.makespan, 0.0);
+
+  // Fused execution never exceeds the barrier-separated sum.
+  auto one = [&](Contraction c) {
+    const auto gg = sim::build_graph(ladder.plan(c), gopts);
+    return sim::simulate_ptg(gg, sopts).makespan;
+  };
+  EXPECT_LE(res.makespan,
+            (one(Contraction::kT2_7) + one(Contraction::kHhLadder)) * 1.001);
+}
+
+}  // namespace
+}  // namespace mp::cc

@@ -1,0 +1,177 @@
+// Property tests over the inspection phase: for a sweep of tile-space
+// shapes (sizes, tile widths, open/closed shell, point groups), every
+// generated ChainPlan must satisfy the structural invariants the executors
+// and the simulator rely on — for both ported subroutines and their fusion.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tce/block_tensor.h"
+#include "tce/chain_plan.h"
+#include "tce/inspector.h"
+#include "tce/tiles.h"
+
+namespace mp::tce {
+namespace {
+
+struct SpaceCase {
+  int oa, ob, va, vb, tile, irreps;
+};
+
+class PlanProperties : public ::testing::TestWithParam<SpaceCase> {
+ protected:
+  void SetUp() override {
+    const auto c = GetParam();
+    TileSpaceSpec spec;
+    spec.n_occ_alpha = c.oa;
+    spec.n_occ_beta = c.ob;
+    spec.n_virt_alpha = c.va;
+    spec.n_virt_beta = c.vb;
+    spec.tile_size = c.tile;
+    spec.num_irreps = c.irreps;
+    space_ = std::make_unique<TileSpace>(spec);
+    v_ = std::make_unique<BlockTensor4>(
+        *space_, std::array{RangeKind::kVirt, RangeKind::kVirt,
+                            RangeKind::kVirt, RangeKind::kVirt});
+    w_ = std::make_unique<BlockTensor4>(
+        *space_, std::array{RangeKind::kOcc, RangeKind::kOcc,
+                            RangeKind::kOcc, RangeKind::kOcc});
+    t_ = std::make_unique<BlockTensor4>(
+        *space_, std::array{RangeKind::kVirt, RangeKind::kVirt,
+                            RangeKind::kOcc, RangeKind::kOcc});
+    r_ = std::make_unique<BlockTensor4>(
+        *space_,
+        std::array{RangeKind::kVirt, RangeKind::kVirt, RangeKind::kOcc,
+                   RangeKind::kOcc},
+        true, true);
+  }
+
+  void check_invariants(const ChainPlan& plan, const BlockTensor4& a_shape,
+                        const BlockTensor4& b_shape) {
+    std::set<uint64_t> seen_targets;
+    for (size_t i = 0; i < plan.chains.size(); ++i) {
+      const Chain& ch = plan.chains[i];
+      EXPECT_EQ(ch.id, static_cast<int>(i));  // dense ids
+      EXPECT_GE(ch.gemms.size(), 1u);
+      EXPECT_GE(ch.sorts.size(), 1u);
+      EXPECT_LE(ch.sorts.size(), 4u);
+      EXPECT_EQ(static_cast<int64_t>(ch.c_dims[0] * ch.c_dims[1] *
+                                     ch.c_dims[2] * ch.c_dims[3]),
+                ch.c_elems());
+
+      // One chain per target block.
+      EXPECT_TRUE(seen_targets.insert(ch.c_key).second);
+      const auto r_entry = r_->index().find(ch.c_key);
+      ASSERT_TRUE(r_entry.has_value());
+      EXPECT_EQ(r_entry->offset, ch.c_offset);
+      EXPECT_EQ(r_entry->size, ch.c_elems());
+
+      int expect_l2 = 0;
+      for (const GemmOp& g : ch.gemms) {
+        EXPECT_EQ(g.l2, expect_l2++);  // dense chain positions
+        EXPECT_EQ(g.m, ch.m);
+        EXPECT_EQ(g.n, ch.n);
+        EXPECT_GT(g.k, 0);
+        // Input block sizes must match the GEMM shape.
+        const auto ae = a_shape.index().find(g.a_key);
+        const auto be = b_shape.index().find(g.b_key);
+        ASSERT_TRUE(ae.has_value());
+        ASSERT_TRUE(be.has_value());
+        EXPECT_EQ(ae->size, static_cast<int64_t>(g.m) * g.k);
+        EXPECT_EQ(be->size, static_cast<int64_t>(g.n) * g.k);
+        EXPECT_EQ(ae->offset, g.a_offset);
+        EXPECT_EQ(be->offset, g.b_offset);
+      }
+
+      // Guard structure: extra sorts exactly for coinciding tile pairs.
+      const size_t expect_sorts =
+          1u + (ch.out_tiles[0] == ch.out_tiles[1] ? 1u : 0u) +
+          (ch.out_tiles[2] == ch.out_tiles[3] ? 1u : 0u) +
+          (ch.out_tiles[0] == ch.out_tiles[1] &&
+                   ch.out_tiles[2] == ch.out_tiles[3]
+               ? 1u
+               : 0u);
+      EXPECT_EQ(ch.sorts.size(), expect_sorts);
+      for (const SortOp& so : ch.sorts) {
+        // Every sort permutation is a valid permutation with sign +-1.
+        int mask = 0;
+        for (int p : so.perm) mask |= 1 << p;
+        EXPECT_EQ(mask, 0xF);
+        EXPECT_TRUE(so.factor == 1.0 || so.factor == -1.0);
+      }
+    }
+  }
+
+  std::unique_ptr<TileSpace> space_;
+  std::unique_ptr<BlockTensor4> v_, w_, t_, r_;
+};
+
+TEST_P(PlanProperties, T2_7PlanIsWellFormed) {
+  const auto plan = inspect_t2_7(*space_, {v_.get(), t_.get(), r_.get()});
+  ASSERT_EQ(plan.store_sizes.size(), 3u);
+  EXPECT_EQ(plan.store_sizes[0], v_->ga_size());
+  EXPECT_EQ(plan.store_sizes[1], t_->ga_size());
+  EXPECT_EQ(plan.store_sizes[2], r_->ga_size());
+  check_invariants(plan, *v_, *t_);
+  for (const Chain& ch : plan.chains) {
+    for (const GemmOp& g : ch.gemms) {
+      EXPECT_EQ(g.transa, 'N');
+      EXPECT_EQ(g.transb, 'T');
+    }
+  }
+}
+
+TEST_P(PlanProperties, HhLadderPlanIsWellFormed) {
+  const auto plan =
+      inspect_hh_ladder(*space_, {w_.get(), t_.get(), r_.get()});
+  check_invariants(plan, *w_, *t_);
+  for (const Chain& ch : plan.chains) {
+    for (const GemmOp& g : ch.gemms) {
+      EXPECT_EQ(g.transa, 'N');
+      EXPECT_EQ(g.transb, 'N');
+    }
+  }
+}
+
+TEST_P(PlanProperties, InspectionIsDeterministic) {
+  const auto p1 = inspect_t2_7(*space_, {v_.get(), t_.get(), r_.get()});
+  const auto p2 = inspect_t2_7(*space_, {v_.get(), t_.get(), r_.get()});
+  ASSERT_EQ(p1.chains.size(), p2.chains.size());
+  for (size_t i = 0; i < p1.chains.size(); ++i) {
+    EXPECT_EQ(p1.chains[i].c_key, p2.chains[i].c_key);
+    EXPECT_EQ(p1.chains[i].gemms.size(), p2.chains[i].gemms.size());
+  }
+}
+
+TEST_P(PlanProperties, FusedPlanPreservesBothSubroutines) {
+  const auto pp = inspect_t2_7(*space_, {v_.get(), t_.get(), r_.get()});
+  const auto hh = inspect_hh_ladder(*space_, {w_.get(), t_.get(), r_.get()});
+  const auto fused = fuse_plans(pp, hh, {3, 1, 2});
+  EXPECT_EQ(fused.chains.size(), pp.chains.size() + hh.chains.size());
+  ASSERT_EQ(fused.store_sizes.size(), 4u);
+  EXPECT_EQ(fused.store_sizes[3], w_->ga_size());
+  for (const Chain& ch : fused.chains) {
+    EXPECT_LT(ch.a_store, 4);
+    EXPECT_EQ(ch.b_store, 1);
+    EXPECT_EQ(ch.r_store, 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spaces, PlanProperties,
+    ::testing::Values(SpaceCase{2, 2, 4, 4, 2, 1},   // minimal closed shell
+                      SpaceCase{3, 3, 5, 5, 2, 1},   // ragged tiles
+                      SpaceCase{4, 4, 8, 8, 3, 2},   // C2h-style irreps
+                      SpaceCase{4, 4, 8, 8, 2, 4},   // 4-irrep group
+                      SpaceCase{3, 2, 6, 5, 2, 1},   // open shell
+                      SpaceCase{6, 6, 10, 10, 5, 2}, // coarser tiles
+                      SpaceCase{2, 2, 12, 12, 3, 1}),
+    [](const auto& info) {
+      const auto& c = info.param;
+      return "o" + std::to_string(c.oa) + "_" + std::to_string(c.ob) + "v" +
+             std::to_string(c.va) + "_" + std::to_string(c.vb) + "t" +
+             std::to_string(c.tile) + "g" + std::to_string(c.irreps);
+    });
+
+}  // namespace
+}  // namespace mp::tce

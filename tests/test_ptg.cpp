@@ -1,0 +1,518 @@
+// Tests for the PTG runtime: dataflow correctness for chain and
+// fan-out/reduction graphs (the paper's Fig. 1 / Fig. 2 shapes), remote
+// activations across ranks, priorities, scheduler policies, tracing, and
+// API misuse detection.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "ptg/context.h"
+#include "ptg/scheduler.h"
+#include "ptg/taskpool.h"
+#include "ptg/trace.h"
+#include "vc/cluster.h"
+
+namespace mp::ptg {
+namespace {
+
+// Helper: enumerate instances p0 in [0, n) owned by round-robin rank.
+std::function<std::vector<Params>(int)> round_robin(int n, int nranks) {
+  return [n, nranks](int rank) {
+    std::vector<Params> out;
+    for (int i = rank; i < n; i += nranks) out.push_back(params_of(i));
+    return out;
+  };
+}
+
+TEST(Taskpool, ValidateCatchesMissingPieces) {
+  Taskpool pool;
+  TaskClass c;
+  c.name = "broken";
+  c.rank_of = [](const Params&) { return 0; };
+  c.num_task_inputs = [](const Params&) { return 0; };
+  // missing enumerate_rank and body
+  pool.add_class(std::move(c));
+  EXPECT_THROW(pool.validate(), InvalidArgument);
+}
+
+TEST(Taskpool, FindByName) {
+  Taskpool pool;
+  TaskClass c;
+  c.name = "alpha";
+  c.rank_of = [](const Params&) { return 0; };
+  c.num_task_inputs = [](const Params&) { return 0; };
+  c.enumerate_rank = [](int) { return std::vector<Params>{}; };
+  c.body = [](TaskCtx&) {};
+  const auto id = pool.add_class(std::move(c));
+  EXPECT_EQ(pool.find("alpha"), id);
+  EXPECT_EQ(pool.find("beta"), -1);
+}
+
+TEST(TaskKey, HashAndEquality) {
+  TaskKey a{1, params_of(2, 3, 4)};
+  TaskKey b{1, params_of(2, 3, 4)};
+  TaskKey c{1, params_of(2, 3, 5)};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(TaskKeyHash{}(a), TaskKeyHash{}(b));
+}
+
+// --- single-rank independent tasks ---
+
+TEST(Context, ExecutesAllStartupTasks) {
+  vc::Cluster cluster(1);
+  std::atomic<int> count{0};
+  cluster.run([&](vc::RankCtx& rctx) {
+    Taskpool pool;
+    TaskClass c;
+    c.name = "work";
+    c.rank_of = [](const Params&) { return 0; };
+    c.num_task_inputs = [](const Params&) { return 0; };
+    c.enumerate_rank = round_robin(100, 1);
+    c.body = [&](TaskCtx&) { count.fetch_add(1); };
+    pool.add_class(std::move(c));
+    Options opts;
+    opts.num_workers = 4;
+    Context ctx(rctx, pool, opts);
+    ctx.run();
+    EXPECT_EQ(ctx.tasks_executed(), 100u);
+    EXPECT_EQ(ctx.expected_tasks(), 100u);
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Context, EmptyPoolTerminates) {
+  vc::Cluster cluster(2);
+  cluster.run([&](vc::RankCtx& rctx) {
+    Taskpool pool;
+    TaskClass c;
+    c.name = "none";
+    c.rank_of = [](const Params&) { return 0; };
+    c.num_task_inputs = [](const Params&) { return 0; };
+    c.enumerate_rank = [](int) { return std::vector<Params>{}; };
+    c.body = [](TaskCtx&) {};
+    pool.add_class(std::move(c));
+    Context ctx(rctx, pool);
+    ctx.run();
+    EXPECT_EQ(ctx.tasks_executed(), 0u);
+  });
+}
+
+// --- the Fig. 1 shape: DFILL -> chain of GEMM-like steps -> SINK ---
+
+struct ChainFixtureResult {
+  std::vector<double> finals;
+};
+
+ChainFixtureResult run_chain(int nranks, int chains, int len,
+                             bool spread_ranks, Options opts = {}) {
+  ChainFixtureResult result;
+  result.finals.assign(static_cast<size_t>(chains), 0.0);
+  std::mutex mu;
+
+  vc::Cluster cluster(nranks);
+  cluster.run([&](vc::RankCtx& rctx) {
+    Taskpool pool;
+    // Ownership: whole chain on one rank, or each step on (L1+L2)%nranks.
+    auto step_rank = [=](const Params& p) {
+      return spread_ranks ? (p[0] + p[1]) % nranks : p[0] % nranks;
+    };
+
+    TaskClass step;
+    step.name = "STEP";
+    step.rank_of = step_rank;
+    step.num_task_inputs = [](const Params& p) { return p[1] == 0 ? 0 : 1; };
+    step.enumerate_rank = [=](int rank) {
+      std::vector<Params> out;
+      for (int l1 = 0; l1 < chains; ++l1) {
+        for (int l2 = 0; l2 < len; ++l2) {
+          const Params p = params_of(l1, l2);
+          if (step_rank(p) == rank) out.push_back(p);
+        }
+      }
+      return out;
+    };
+    step.priority = [=](const Params& p) {
+      return static_cast<double>(chains - p[0]);
+    };
+    step.body = [](TaskCtx& t) {
+      DataBuf buf;
+      if (t.params()[1] == 0) {
+        buf = make_buf(1, static_cast<double>(t.params()[0]));
+      } else {
+        buf = t.take_input(0);
+        (*buf)[0] += 1.0;
+      }
+      t.set_output(0, std::move(buf));
+    };
+
+    TaskClass sink;
+    sink.name = "SINK";
+    sink.rank_of = [=](const Params& p) { return p[0] % nranks; };
+    sink.num_task_inputs = [](const Params&) { return 1; };
+    sink.enumerate_rank = [=](int rank) {
+      std::vector<Params> out;
+      for (int l1 = rank; l1 < chains; l1 += nranks) out.push_back(params_of(l1));
+      return out;
+    };
+    sink.body = [&](TaskCtx& t) {
+      std::lock_guard lock(mu);
+      result.finals[static_cast<size_t>(t.params()[0])] = (*t.input(0))[0];
+    };
+
+    const auto step_id = pool.add_class(std::move(step));
+    const auto sink_id = pool.add_class(std::move(sink));
+    auto& step_ref = pool.mutable_cls(step_id);
+    step_ref.route_outputs = [=](const Params& p, std::vector<OutRoute>& r) {
+      if (p[1] < len - 1) {
+        r.push_back({TaskKey{step_id, params_of(p[0], p[1] + 1)}, 0, 0});
+      } else {
+        r.push_back({TaskKey{sink_id, params_of(p[0])}, 0, 0});
+      }
+    };
+
+    Context ctx(rctx, pool, opts);
+    ctx.run();
+  });
+  return result;
+}
+
+TEST(Context, ChainDataflowSingleRank) {
+  const auto r = run_chain(1, 5, 10, false);
+  for (int l1 = 0; l1 < 5; ++l1) {
+    EXPECT_DOUBLE_EQ(r.finals[static_cast<size_t>(l1)], l1 + 9.0);
+  }
+}
+
+TEST(Context, ChainDataflowMultiRankLocalChains) {
+  const auto r = run_chain(4, 8, 20, false);
+  for (int l1 = 0; l1 < 8; ++l1) {
+    EXPECT_DOUBLE_EQ(r.finals[static_cast<size_t>(l1)], l1 + 19.0);
+  }
+}
+
+TEST(Context, ChainDataflowCrossRankEveryStep) {
+  // Every hop crosses ranks: stresses remote activation payloads.
+  const auto r = run_chain(3, 6, 12, true);
+  for (int l1 = 0; l1 < 6; ++l1) {
+    EXPECT_DOUBLE_EQ(r.finals[static_cast<size_t>(l1)], l1 + 11.0);
+  }
+}
+
+TEST(Context, ChainWithManyWorkersAndStealing) {
+  Options opts;
+  opts.num_workers = 4;
+  opts.policy = SchedPolicy::kStealing;
+  const auto r = run_chain(2, 16, 30, false, opts);
+  EXPECT_DOUBLE_EQ(r.finals[0], 29.0);
+  EXPECT_DOUBLE_EQ(r.finals[1], 30.0);
+}
+
+// --- the Fig. 2 shape: parallel producers -> reduction ---
+
+TEST(Context, FanInReduction) {
+  const int nranks = 2, producers = 32;
+  std::atomic<double> total{0.0};
+  vc::Cluster cluster(nranks);
+  cluster.run([&](vc::RankCtx& rctx) {
+    Taskpool pool;
+    TaskClass prod;
+    prod.name = "PROD";
+    prod.rank_of = [=](const Params& p) { return p[0] % nranks; };
+    prod.num_task_inputs = [](const Params&) { return 0; };
+    prod.enumerate_rank = round_robin(producers, nranks);
+    prod.body = [](TaskCtx& t) {
+      t.set_output(0, make_buf(1, static_cast<double>(t.params()[0])));
+    };
+
+    TaskClass red;
+    red.name = "RED";
+    red.rank_of = [](const Params&) { return 0; };
+    red.num_task_inputs = [=](const Params&) { return producers; };
+    red.enumerate_rank = [](int rank) {
+      return rank == 0 ? std::vector<Params>{params_of(0)}
+                       : std::vector<Params>{};
+    };
+    red.body = [&](TaskCtx& t) {
+      double s = 0.0;
+      for (int i = 0; i < producers; ++i) s += (*t.input(i))[0];
+      total.store(s);
+    };
+
+    const auto prod_id = pool.add_class(std::move(prod));
+    const auto red_id = pool.add_class(std::move(red));
+    auto& pr = pool.mutable_cls(prod_id);
+    pr.route_outputs = [=](const Params& p, std::vector<OutRoute>& r) {
+      r.push_back({TaskKey{red_id, params_of(0)},
+                   static_cast<int8_t>(p[0]), 0});
+    };
+
+    Options opts;
+    opts.num_workers = 3;
+    Context ctx(rctx, pool, opts);
+    ctx.run();
+  });
+  EXPECT_DOUBLE_EQ(total.load(), producers * (producers - 1) / 2.0);
+}
+
+// --- priorities & scheduling order ---
+
+std::vector<int> run_priority_order(SchedPolicy policy, bool use_priorities) {
+  std::vector<int> order;
+  vc::Cluster cluster(1);
+  cluster.run([&](vc::RankCtx& rctx) {
+    Taskpool pool;
+    TaskClass c;
+    c.name = "T";
+    c.rank_of = [](const Params&) { return 0; };
+    c.num_task_inputs = [](const Params&) { return 0; };
+    c.enumerate_rank = round_robin(10, 1);
+    c.priority = [](const Params& p) { return static_cast<double>(p[0]); };
+    c.body = [&](TaskCtx& t) { order.push_back(t.params()[0]); };
+    pool.add_class(std::move(c));
+    Options opts;
+    opts.num_workers = 1;  // deterministic execution order
+    opts.policy = policy;
+    opts.use_priorities = use_priorities;
+    Context ctx(rctx, pool, opts);
+    ctx.run();
+  });
+  return order;
+}
+
+TEST(Context, PrioritySchedulerRunsHighFirst) {
+  const auto order = run_priority_order(SchedPolicy::kPriority, true);
+  std::vector<int> expect{9, 8, 7, 6, 5, 4, 3, 2, 1, 0};
+  EXPECT_EQ(order, expect);
+}
+
+TEST(Context, DisabledPrioritiesFallBackToFifo) {
+  const auto order = run_priority_order(SchedPolicy::kPriority, false);
+  std::vector<int> expect{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(order, expect);
+}
+
+TEST(Context, FifoPolicyIgnoresPriorities) {
+  const auto order = run_priority_order(SchedPolicy::kFifo, true);
+  std::vector<int> expect{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(order, expect);
+}
+
+TEST(Context, LifoPolicyRunsNewestFirst) {
+  const auto order = run_priority_order(SchedPolicy::kLifo, true);
+  std::vector<int> expect{9, 8, 7, 6, 5, 4, 3, 2, 1, 0};
+  EXPECT_EQ(order, expect);
+}
+
+TEST(Scheduler, StealingMovesWorkBetweenWorkers) {
+  auto s = Scheduler::create(SchedPolicy::kStealing, 2);
+  ReadyTask t;
+  t.key = TaskKey{0, params_of(1)};
+  s->push(std::move(t), 0);  // homed on worker 0
+  ReadyTask out;
+  EXPECT_TRUE(s->try_pop(out, 1));  // worker 1 steals it
+  EXPECT_EQ(s->steals(), 1u);
+  EXPECT_FALSE(s->try_pop(out, 1));
+}
+
+TEST(Scheduler, PolicyNames) {
+  EXPECT_STREQ(to_string(SchedPolicy::kPriority), "priority");
+  EXPECT_STREQ(to_string(SchedPolicy::kFifo), "fifo");
+  EXPECT_STREQ(to_string(SchedPolicy::kLifo), "lifo");
+  EXPECT_STREQ(to_string(SchedPolicy::kStealing), "stealing");
+}
+
+// --- tracing ---
+
+TEST(Context, TracingRecordsEveryTask) {
+  vc::Cluster cluster(1);
+  cluster.run([&](vc::RankCtx& rctx) {
+    Taskpool pool;
+    TaskClass c;
+    c.name = "traced";
+    c.rank_of = [](const Params&) { return 0; };
+    c.num_task_inputs = [](const Params&) { return 0; };
+    c.enumerate_rank = round_robin(25, 1);
+    c.body = [](TaskCtx&) {};
+    pool.add_class(std::move(c));
+    Options opts;
+    opts.enable_tracing = true;
+    opts.num_workers = 2;
+    Context ctx(rctx, pool, opts);
+    ctx.run();
+    EXPECT_EQ(ctx.trace().size(), 25u);
+    for (const auto& e : ctx.trace().events()) {
+      EXPECT_LE(e.t_start, e.t_end);
+      EXPECT_EQ(e.cls, 0);
+      EXPECT_FALSE(e.is_comm);
+    }
+  });
+}
+
+TEST(Context, TracingDisabledByDefault) {
+  vc::Cluster cluster(1);
+  cluster.run([&](vc::RankCtx& rctx) {
+    Taskpool pool;
+    TaskClass c;
+    c.name = "untraced";
+    c.rank_of = [](const Params&) { return 0; };
+    c.num_task_inputs = [](const Params&) { return 0; };
+    c.enumerate_rank = round_robin(5, 1);
+    c.body = [](TaskCtx&) {};
+    pool.add_class(std::move(c));
+    Context ctx(rctx, pool);
+    ctx.run();
+    EXPECT_TRUE(ctx.trace().empty());
+  });
+}
+
+// --- error paths ---
+
+TEST(Context, RunTwiceThrows) {
+  vc::Cluster cluster(1);
+  cluster.run([&](vc::RankCtx& rctx) {
+    Taskpool pool;
+    TaskClass c;
+    c.name = "once";
+    c.rank_of = [](const Params&) { return 0; };
+    c.num_task_inputs = [](const Params&) { return 0; };
+    c.enumerate_rank = [](int) { return std::vector<Params>{}; };
+    c.body = [](TaskCtx&) {};
+    pool.add_class(std::move(c));
+    Context ctx(rctx, pool);
+    ctx.run();
+    EXPECT_THROW(ctx.run(), InvalidArgument);
+  });
+}
+
+TEST(Context, MissingOutputIsDiagnosed) {
+  vc::Cluster cluster(1);
+  EXPECT_THROW(
+      cluster.run([&](vc::RankCtx& rctx) {
+        Taskpool pool;
+        TaskClass a;
+        a.name = "forgetful";
+        a.rank_of = [](const Params&) { return 0; };
+        a.num_task_inputs = [](const Params&) { return 0; };
+        a.enumerate_rank = [](int) {
+          return std::vector<Params>{params_of(0)};
+        };
+        a.body = [](TaskCtx&) { /* forgot set_output */ };
+
+        TaskClass b;
+        b.name = "victim";
+        b.rank_of = [](const Params&) { return 0; };
+        b.num_task_inputs = [](const Params&) { return 1; };
+        b.enumerate_rank = [](int) {
+          return std::vector<Params>{params_of(0)};
+        };
+        b.body = [](TaskCtx&) {};
+
+        const auto a_id = pool.add_class(std::move(a));
+        const auto b_id = pool.add_class(std::move(b));
+        auto& ar = pool.mutable_cls(a_id);
+        ar.route_outputs = [=](const Params&, std::vector<OutRoute>& r) {
+          r.push_back({TaskKey{b_id, params_of(0)}, 0, 0});
+        };
+        Context ctx(rctx, pool);
+        ctx.run();
+      }),
+      InvalidArgument);
+}
+
+TEST(Context, ZeroWorkersRejected) {
+  vc::Cluster cluster(1);
+  cluster.run([&](vc::RankCtx& rctx) {
+    Taskpool pool;
+    TaskClass c;
+    c.name = "x";
+    c.rank_of = [](const Params&) { return 0; };
+    c.num_task_inputs = [](const Params&) { return 0; };
+    c.enumerate_rank = [](int) { return std::vector<Params>{}; };
+    c.body = [](TaskCtx&) {};
+    pool.add_class(std::move(c));
+    Options opts;
+    opts.num_workers = 0;
+    EXPECT_THROW(Context(rctx, pool, opts), InvalidArgument);
+  });
+}
+
+// --- trace analysis unit tests ---
+
+TEST(Trace, SpanAndBusy) {
+  Trace tr;
+  tr.add({0, 0, 0, {0, 0, 0}, 0.0, 1.0, false});
+  tr.add({0, 1, 0, {0, 0, 0}, 0.5, 2.0, false});
+  EXPECT_DOUBLE_EQ(tr.span(), 2.0);
+  EXPECT_DOUBLE_EQ(tr.busy_time(), 2.5);
+  EXPECT_EQ(tr.num_rows(), 2u);
+  EXPECT_NEAR(tr.idle_fraction(), 1.0 - 2.5 / 4.0, 1e-12);
+}
+
+TEST(Trace, NormalizeShiftsToZero) {
+  Trace tr;
+  tr.add({0, 0, 0, {0, 0, 0}, 10.0, 11.0, false});
+  tr.normalize();
+  EXPECT_DOUBLE_EQ(tr.events()[0].t_start, 0.0);
+  EXPECT_DOUBLE_EQ(tr.events()[0].t_end, 1.0);
+}
+
+TEST(Trace, StartupIdleMeasuresLateFirstTasks) {
+  Trace tr;
+  tr.add({0, 0, 0, {0, 0, 0}, 0.0, 1.0, false});
+  tr.add({0, 1, 0, {0, 0, 0}, 4.0, 5.0, false});
+  EXPECT_DOUBLE_EQ(tr.mean_startup_idle(), 2.0);
+}
+
+TEST(Trace, CommOverlapFraction) {
+  Trace tr;
+  // comm event [0,2] on rank 0; compute [1,2] covers half of it.
+  tr.add({0, -1, -1, {0, 0, 0}, 0.0, 2.0, true});
+  tr.add({0, 0, 0, {0, 0, 0}, 1.0, 2.0, false});
+  EXPECT_NEAR(tr.comm_overlap_fraction(), 0.5, 1e-12);
+}
+
+TEST(Trace, CommOverlapIgnoresOtherRanksCompute) {
+  Trace tr;
+  tr.add({0, -1, -1, {0, 0, 0}, 0.0, 2.0, true});
+  tr.add({1, 0, 0, {0, 0, 0}, 0.0, 2.0, false});  // different rank
+  EXPECT_DOUBLE_EQ(tr.comm_overlap_fraction(), 0.0);
+}
+
+TEST(Trace, AsciiGanttRendersRowsPerWorker) {
+  Trace tr;
+  tr.add({0, 0, 0, {0, 0, 0}, 0.0, 1.0, false});
+  tr.add({0, 1, 1, {0, 0, 0}, 1.0, 2.0, false});
+  tr.add({1, 0, 0, {0, 0, 0}, 0.0, 2.0, false});
+  const std::string g = tr.ascii_gantt(20, {'G', 'S'});
+  EXPECT_NE(g.find("node 0:"), std::string::npos);
+  EXPECT_NE(g.find("node 1:"), std::string::npos);
+  EXPECT_NE(g.find('G'), std::string::npos);
+  EXPECT_NE(g.find('S'), std::string::npos);
+}
+
+TEST(Trace, TimeByClassAggregates) {
+  Trace tr;
+  tr.add({0, 0, 0, {0, 0, 0}, 0.0, 1.0, false});
+  tr.add({0, 0, 0, {0, 0, 0}, 1.0, 3.0, false});
+  tr.add({0, 0, 1, {0, 0, 0}, 3.0, 4.0, false});
+  const auto by = tr.time_by_class();
+  EXPECT_DOUBLE_EQ(by.at(0), 3.0);
+  EXPECT_DOUBLE_EQ(by.at(1), 1.0);
+}
+
+TEST(Trace, JsonContainsClassNames)
+{
+  Trace tr;
+  tr.add({0, 0, 0, {1, 2, 3}, 0.0, 1.0, false});
+  std::ostringstream os;
+  tr.to_json(os, {"GEMM"});
+  EXPECT_NE(os.str().find("\"GEMM\""), std::string::npos);
+  EXPECT_NE(os.str().find("[1,2,3]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mp::ptg

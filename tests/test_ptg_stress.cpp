@@ -1,0 +1,305 @@
+// Stress and property tests for the PTG runtime:
+//  * randomized layered DAGs executed distributed and checked against a
+//    serial evaluation of the same graph (parameterized over cluster
+//    shape, scheduler policy and graph size);
+//  * failure injection on a remote rank (the abort protocol must unwind
+//    every rank instead of deadlocking);
+//  * execution over a fabric with injected latency and bandwidth limits.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+
+#include "ptg/context.h"
+#include "support/rng.h"
+#include "vc/cluster.h"
+
+namespace mp::ptg {
+namespace {
+
+/// A reproducible random layered DAG. Task (l, i) combines its parents'
+/// values; parents live in layer l-1.
+struct RandomDag {
+  int layers;
+  int width;
+  // parents[l][i] = parent indexes in layer l-1 (empty for l == 0).
+  std::vector<std::vector<std::vector<int>>> parents;
+  // children[l][i] = child indexes in layer l+1 with the input slot this
+  // parent feeds.
+  std::vector<std::vector<std::vector<std::pair<int, int>>>> children;
+
+  static RandomDag make(int layers, int width, uint64_t seed) {
+    RandomDag d;
+    d.layers = layers;
+    d.width = width;
+    Rng rng(seed);
+    d.parents.assign(static_cast<size_t>(layers),
+                     std::vector<std::vector<int>>(
+                         static_cast<size_t>(width)));
+    d.children.assign(
+        static_cast<size_t>(layers),
+        std::vector<std::vector<std::pair<int, int>>>(
+            static_cast<size_t>(width)));
+    for (int l = 1; l < layers; ++l) {
+      for (int i = 0; i < width; ++i) {
+        const int nparents = 1 + static_cast<int>(rng.next_below(3));
+        for (int p = 0; p < nparents; ++p) {
+          const int parent = static_cast<int>(rng.next_below(
+              static_cast<uint64_t>(width)));
+          auto& plist = d.parents[static_cast<size_t>(l)][static_cast<size_t>(i)];
+          // avoid duplicate edges into the same slot structure
+          bool dup = false;
+          for (int existing : plist) dup |= (existing == parent);
+          if (dup) continue;
+          const int slot = static_cast<int>(plist.size());
+          plist.push_back(parent);
+          d.children[static_cast<size_t>(l - 1)][static_cast<size_t>(parent)]
+              .emplace_back(i, slot);
+        }
+      }
+    }
+    return d;
+  }
+
+  /// Node-local combine function, deterministic in (l, i).
+  static double combine(int l, int i, double input_sum) {
+    return input_sum * 0.5 + static_cast<double>((l * 131 + i * 17) % 97) +
+           1.0;
+  }
+
+  /// Serial evaluation of every node value.
+  std::vector<std::vector<double>> evaluate() const {
+    std::vector<std::vector<double>> val(
+        static_cast<size_t>(layers),
+        std::vector<double>(static_cast<size_t>(width), 0.0));
+    for (int l = 0; l < layers; ++l) {
+      for (int i = 0; i < width; ++i) {
+        double s = 0.0;
+        for (int p : parents[static_cast<size_t>(l)][static_cast<size_t>(i)]) {
+          s += val[static_cast<size_t>(l - 1)][static_cast<size_t>(p)];
+        }
+        val[static_cast<size_t>(l)][static_cast<size_t>(i)] =
+            combine(l, i, s);
+      }
+    }
+    return val;
+  }
+};
+
+struct StressCase {
+  int nranks, workers, layers, width;
+  SchedPolicy policy;
+  uint64_t seed;
+};
+
+class RandomDagStress : public ::testing::TestWithParam<StressCase> {};
+
+TEST_P(RandomDagStress, DistributedMatchesSerial) {
+  const auto c = GetParam();
+  const RandomDag dag = RandomDag::make(c.layers, c.width, c.seed);
+  const auto expected = dag.evaluate();
+
+  std::vector<double> got(static_cast<size_t>(c.width), 0.0);
+  std::mutex mu;
+
+  vc::Cluster cluster(c.nranks);
+  cluster.run([&](vc::RankCtx& rctx) {
+    const int nranks = rctx.nranks();
+    auto owner = [nranks](int l, int i) { return (l * 7 + i * 13) % nranks; };
+
+    Taskpool pool;
+    TaskClass node;
+    node.name = "NODE";
+    node.rank_of = [owner](const Params& p) { return owner(p[0], p[1]); };
+    node.num_task_inputs = [&dag](const Params& p) {
+      return static_cast<int>(
+          dag.parents[static_cast<size_t>(p[0])][static_cast<size_t>(p[1])]
+              .size());
+    };
+    node.enumerate_rank = [&dag, owner, &c](int rank) {
+      std::vector<Params> out;
+      for (int l = 0; l < c.layers; ++l) {
+        for (int i = 0; i < c.width; ++i) {
+          if (owner(l, i) == rank) out.push_back(params_of(l, i));
+        }
+      }
+      return out;
+    };
+    node.body = [&dag, &got, &mu, &c](TaskCtx& t) {
+      const int l = t.params()[0], i = t.params()[1];
+      double s = 0.0;
+      const auto& plist =
+          dag.parents[static_cast<size_t>(l)][static_cast<size_t>(i)];
+      for (size_t slot = 0; slot < plist.size(); ++slot) {
+        s += (*t.input(static_cast<int>(slot)))[0];
+      }
+      const double v = RandomDag::combine(l, i, s);
+      if (l == c.layers - 1) {
+        std::lock_guard lock(mu);
+        got[static_cast<size_t>(i)] = v;
+      }
+      t.set_output(0, make_buf(1, v));
+    };
+    const auto node_id = pool.add_class(std::move(node));
+    pool.mutable_cls(node_id).route_outputs =
+        [&dag, node_id](const Params& p, std::vector<OutRoute>& r) {
+          const auto& kids = dag.children[static_cast<size_t>(p[0])]
+                                         [static_cast<size_t>(p[1])];
+          for (const auto& [child, slot] : kids) {
+            r.push_back({TaskKey{node_id, params_of(p[0] + 1, child)},
+                         static_cast<int8_t>(slot), 0});
+          }
+        };
+
+    Options opts;
+    opts.num_workers = c.workers;
+    opts.policy = c.policy;
+    Context ctx(rctx, pool, opts);
+    ctx.run();
+    EXPECT_EQ(ctx.tasks_executed(), ctx.expected_tasks());
+  });
+
+  for (int i = 0; i < c.width; ++i) {
+    EXPECT_DOUBLE_EQ(got[static_cast<size_t>(i)],
+                     expected[static_cast<size_t>(c.layers - 1)]
+                             [static_cast<size_t>(i)])
+        << "sink " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomDagStress,
+    ::testing::Values(
+        StressCase{1, 1, 4, 6, SchedPolicy::kPriority, 1},
+        StressCase{1, 4, 8, 10, SchedPolicy::kPriority, 2},
+        StressCase{2, 2, 6, 8, SchedPolicy::kFifo, 3},
+        StressCase{3, 2, 10, 12, SchedPolicy::kPriority, 4},
+        StressCase{4, 3, 12, 16, SchedPolicy::kLifo, 5},
+        StressCase{4, 2, 20, 8, SchedPolicy::kStealing, 6},
+        StressCase{5, 2, 5, 25, SchedPolicy::kPriority, 7},
+        StressCase{2, 4, 30, 6, SchedPolicy::kStealing, 8}),
+    [](const auto& info) {
+      const auto& c = info.param;
+      return "r" + std::to_string(c.nranks) + "w" +
+             std::to_string(c.workers) + "L" + std::to_string(c.layers) +
+             "W" + std::to_string(c.width) + "s" + std::to_string(c.seed);
+    });
+
+// --- failure injection ---
+
+TEST(FailureInjection, RemoteTaskFailureUnwindsAllRanks) {
+  // A task on rank 1 throws mid-DAG. Without abort propagation rank 0
+  // would wait forever for activations; the runtime must unwind everywhere
+  // and surface an exception. This test completing (quickly) is the point.
+  vc::Cluster cluster(3);
+  EXPECT_THROW(
+      cluster.run([&](vc::RankCtx& rctx) {
+        Taskpool pool;
+        TaskClass c;
+        c.name = "maybe_fail";
+        c.rank_of = [](const Params& p) { return p[0] % 3; };
+        c.num_task_inputs = [](const Params& p) { return p[0] == 0 ? 0 : 1; };
+        c.enumerate_rank = [](int rank) {
+          std::vector<Params> out;
+          for (int i = rank; i < 9; i += 3) out.push_back(params_of(i));
+          return out;
+        };
+        c.body = [](TaskCtx& t) {
+          if (t.params()[0] == 1) {
+            throw std::runtime_error("injected failure");
+          }
+          t.set_output(0, make_buf(1, 1.0));
+        };
+        const auto id = pool.add_class(std::move(c));
+        // One chain 0 -> 1 -> ... -> 8 hopping across ranks: when task 1
+        // dies on rank 1, every downstream rank would starve without the
+        // abort broadcast.
+        pool.mutable_cls(id).route_outputs =
+            [id](const Params& p, std::vector<OutRoute>& r) {
+              if (p[0] < 8) {
+                r.push_back({TaskKey{id, params_of(p[0] + 1)}, 0, 0});
+              }
+            };
+        Context ctx(rctx, pool);
+        ctx.run();
+      }),
+      std::exception);
+}
+
+TEST(FailureInjection, FirstErrorWinsOverAbortNoise) {
+  // The originating rank reports the real error, not the secondary
+  // "aborted by remote" StateError.
+  vc::Cluster cluster(2);
+  try {
+    cluster.run([&](vc::RankCtx& rctx) {
+      Taskpool pool;
+      TaskClass c;
+      c.name = "fail0";
+      c.rank_of = [](const Params&) { return 0; };
+      c.num_task_inputs = [](const Params&) { return 0; };
+      c.enumerate_rank = [](int rank) {
+        return rank == 0 ? std::vector<Params>{params_of(0)}
+                         : std::vector<Params>{};
+      };
+      c.body = [](TaskCtx&) { throw DataError("the real problem"); };
+      pool.add_class(std::move(c));
+      Context ctx(rctx, pool);
+      ctx.run();
+    });
+    FAIL() << "expected an exception";
+  } catch (const DataError& e) {
+    EXPECT_STREQ(e.what(), "the real problem");
+  }
+}
+
+// --- slow-fabric execution ---
+
+TEST(SlowFabric, ChainSurvivesLatencyAndBandwidthLimits) {
+  vc::FabricConfig cfg;
+  cfg.latency_us = 300.0;
+  cfg.bandwidth_Bps = 50e6;
+  vc::Cluster cluster(3, cfg);
+
+  std::vector<double> finals(4, 0.0);
+  std::mutex mu;
+  cluster.run([&](vc::RankCtx& rctx) {
+    Taskpool pool;
+    TaskClass step;
+    step.name = "STEP";
+    step.rank_of = [](const Params& p) { return (p[0] + p[1]) % 3; };
+    step.num_task_inputs = [](const Params& p) { return p[1] == 0 ? 0 : 1; };
+    step.enumerate_rank = [](int rank) {
+      std::vector<Params> out;
+      for (int l1 = 0; l1 < 4; ++l1) {
+        for (int l2 = 0; l2 < 6; ++l2) {
+          if ((l1 + l2) % 3 == rank) out.push_back(params_of(l1, l2));
+        }
+      }
+      return out;
+    };
+    step.body = [&](TaskCtx& t) {
+      DataBuf buf = t.params()[1] == 0 ? make_buf(512, 1.0)
+                                       : t.take_input(0);
+      for (auto& x : *buf) x += 1.0;
+      if (t.params()[1] == 5) {
+        std::lock_guard lock(mu);
+        finals[static_cast<size_t>(t.params()[0])] = (*buf)[0];
+      } else {
+        t.set_output(0, std::move(buf));
+      }
+    };
+    const auto id = pool.add_class(std::move(step));
+    pool.mutable_cls(id).route_outputs =
+        [id](const Params& p, std::vector<OutRoute>& r) {
+          if (p[1] < 5) {
+            r.push_back({TaskKey{id, params_of(p[0], p[1] + 1)}, 0, 0});
+          }
+        };
+    Context ctx(rctx, pool);
+    ctx.run();
+  });
+  for (double v : finals) EXPECT_DOUBLE_EQ(v, 7.0);  // 1.0 + 6 increments
+}
+
+}  // namespace
+}  // namespace mp::ptg

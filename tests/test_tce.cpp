@@ -1,0 +1,386 @@
+// Tests for the mini-TCE: tile spaces, block tensors, the inspection phase,
+// and — most importantly — the equivalence of every executor (serial
+// reference, original NXTVAL-style, all five PTG variants) on the same
+// ChainPlan: the paper's claim that all variants compute identical results.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "cc/integration.h"
+#include "ga/global_array.h"
+#include "support/rng.h"
+#include "tce/block_tensor.h"
+#include "tce/inspector.h"
+#include "tce/original_exec.h"
+#include "tce/ptg_exec.h"
+#include "tce/reference_exec.h"
+#include "tce/tiles.h"
+#include "tce/variants.h"
+#include "vc/cluster.h"
+
+namespace mp::tce {
+namespace {
+
+TileSpaceSpec small_spec() {
+  TileSpaceSpec s;
+  s.n_occ_alpha = 3;
+  s.n_occ_beta = 3;
+  s.n_virt_alpha = 5;
+  s.n_virt_beta = 5;
+  s.tile_size = 2;
+  return s;
+}
+
+TEST(TileSpace, TileCountsAndSizes) {
+  TileSpace space(small_spec());
+  // occ: 3 alpha -> tiles of 2+1, 3 beta -> 2+1 => 4 tiles
+  EXPECT_EQ(space.num_occ_tiles(), 4);
+  // virt: 5 -> 2+2+1 per spin => 6 tiles
+  EXPECT_EQ(space.num_virt_tiles(), 6);
+  EXPECT_EQ(space.n_occ(), 6);
+  EXPECT_EQ(space.n_virt(), 10);
+  int total = 0;
+  for (const Tile& t : space.occ_tiles()) total += t.size;
+  EXPECT_EQ(total, 6);
+}
+
+TEST(TileSpace, SpinLabelsPartition) {
+  TileSpace space(small_spec());
+  int alpha_orbs = 0, beta_orbs = 0;
+  for (const Tile& t : space.virt_tiles()) {
+    (t.spin == Spin::kAlpha ? alpha_orbs : beta_orbs) += t.size;
+  }
+  EXPECT_EQ(alpha_orbs, 5);
+  EXPECT_EQ(beta_orbs, 5);
+}
+
+TEST(TileSpace, DenseOffsetsAreDisjointAndOrdered) {
+  TileSpace space(small_spec());
+  std::set<int> seen;
+  for (int t = 0; t < space.num_virt_tiles(); ++t) {
+    const int off = space.virt_dense_offset(t);
+    const int sz = space.virt_tiles()[static_cast<size_t>(t)].size;
+    for (int k = 0; k < sz; ++k) {
+      EXPECT_TRUE(seen.insert(off + k).second) << "overlap at " << off + k;
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), space.n_virt());
+}
+
+TEST(TileSpace, RejectsBadSpec) {
+  TileSpaceSpec s = small_spec();
+  s.tile_size = 0;
+  EXPECT_THROW(TileSpace{s}, InvalidArgument);
+}
+
+TEST(BlockTensor, SpinGuardFiltersBlocks) {
+  TileSpace space(small_spec());
+  BlockTensor4 t(space, {RangeKind::kVirt, RangeKind::kVirt, RangeKind::kOcc,
+                         RangeKind::kOcc});
+  const auto& vt = space.virt_tiles();
+  const auto& ot = space.occ_tiles();
+  for (const Tile& a : vt)
+    for (const Tile& b : vt)
+      for (const Tile& i : ot)
+        for (const Tile& j : ot) {
+          const bool expect =
+              spin_conserving(a.spin, b.spin, i.spin, j.spin);
+          EXPECT_EQ(t.has_block(a.index, b.index, i.index, j.index), expect);
+        }
+}
+
+TEST(BlockTensor, TriangularRestrictionApplies) {
+  TileSpace space(small_spec());
+  BlockTensor4 r(space,
+                 {RangeKind::kVirt, RangeKind::kVirt, RangeKind::kOcc,
+                  RangeKind::kOcc},
+                 true, true);
+  EXPECT_FALSE(r.has_block(1, 0, 0, 0));
+  EXPECT_FALSE(r.has_block(0, 1, 1, 0));
+  EXPECT_TRUE(r.has_block(0, 1, 0, 1));
+}
+
+TEST(BlockTensor, GaSizeMatchesSumOfBlocks) {
+  TileSpace space(small_spec());
+  BlockTensor4 t(space, {RangeKind::kVirt, RangeKind::kVirt, RangeKind::kOcc,
+                         RangeKind::kOcc});
+  int64_t total = 0;
+  for (const uint64_t k : t.index().keys()) {
+    total += t.index().find(k)->size;
+  }
+  EXPECT_EQ(total, t.ga_size());
+  EXPECT_GT(total, 0);
+}
+
+TEST(BlockTensor, ScatterGatherRoundTrip) {
+  TileSpace space(small_spec());
+  vc::Cluster cluster(2);
+  BlockTensor4 t(space, {RangeKind::kVirt, RangeKind::kVirt, RangeKind::kOcc,
+                         RangeKind::kOcc});
+  ga::GlobalArray gga(&cluster, t.ga_size());
+
+  const auto nd = t.dense_dims();
+  std::vector<double> dense(
+      static_cast<size_t>(nd[0]) * nd[1] * nd[2] * nd[3]);
+  Rng rng(3);
+  for (auto& x : dense) x = rng.uniform(-1.0, 1.0);
+
+  t.scatter_dense(dense, gga);
+  const auto back = t.gather_dense(gga);
+  // Existing blocks round-trip; spin-forbidden entries come back zero.
+  size_t nonzero = 0;
+  for (size_t i = 0; i < dense.size(); ++i) {
+    if (back[i] != 0.0) {
+      EXPECT_DOUBLE_EQ(back[i], dense[i]);
+      ++nonzero;
+    }
+  }
+  EXPECT_GT(nonzero, 0u);
+  EXPECT_LT(nonzero, dense.size());  // spin guard really filtered some
+}
+
+// --- inspection ---
+
+struct PlanFixture {
+  TileSpace space{small_spec()};
+  BlockTensor4 v{space,
+                 {RangeKind::kVirt, RangeKind::kVirt, RangeKind::kVirt,
+                  RangeKind::kVirt}};
+  BlockTensor4 t{space,
+                 {RangeKind::kVirt, RangeKind::kVirt, RangeKind::kOcc,
+                  RangeKind::kOcc}};
+  BlockTensor4 r{space,
+                 {RangeKind::kVirt, RangeKind::kVirt, RangeKind::kOcc,
+                  RangeKind::kOcc},
+                 true,
+                 true};
+  ChainPlan plan = inspect_t2_7(space, {&v, &t, &r});
+};
+
+TEST(Inspector, ProducesChains) {
+  PlanFixture fx;
+  EXPECT_GT(fx.plan.chains.size(), 0u);
+  const auto st = fx.plan.stats();
+  EXPECT_EQ(st.num_chains, fx.plan.chains.size());
+  EXPECT_GT(st.num_gemms, st.num_chains);  // chains have multiple GEMMs
+  EXPECT_GT(st.total_flops, 0.0);
+  EXPECT_FALSE(st.describe().empty());
+}
+
+TEST(Inspector, ChainIdsAreDense) {
+  PlanFixture fx;
+  for (size_t i = 0; i < fx.plan.chains.size(); ++i) {
+    EXPECT_EQ(fx.plan.chains[i].id, static_cast<int>(i));
+  }
+}
+
+TEST(Inspector, SortCountIsOneTwoOrFour) {
+  PlanFixture fx;
+  bool saw1 = false, saw2 = false, saw4 = false;
+  for (const Chain& c : fx.plan.chains) {
+    const size_t ns = c.sorts.size();
+    EXPECT_TRUE(ns == 1 || ns == 2 || ns == 4) << "chain " << c.id;
+    saw1 |= (ns == 1);
+    saw2 |= (ns == 2);
+    saw4 |= (ns == 4);
+    // Guard structure: diagonal pairs <=> extra sorts.
+    const auto& ot = c.out_tiles;
+    const size_t expect = 1u + (ot[0] == ot[1] ? 1u : 0u) +
+                          (ot[2] == ot[3] ? 1u : 0u) +
+                          (ot[0] == ot[1] && ot[2] == ot[3] ? 1u : 0u);
+    EXPECT_EQ(ns, expect);
+  }
+  EXPECT_TRUE(saw1);
+  EXPECT_TRUE(saw2);
+  EXPECT_TRUE(saw4);
+}
+
+TEST(Inspector, ChainLengthsVaryWithSpin) {
+  PlanFixture fx;
+  const auto st = fx.plan.stats();
+  EXPECT_LT(st.min_chain_len, st.max_chain_len)
+      << "spin guards should make chains of different lengths";
+}
+
+TEST(Inspector, GemmDimsMatchBlocks) {
+  PlanFixture fx;
+  for (const Chain& c : fx.plan.chains) {
+    for (const GemmOp& g : c.gemms) {
+      EXPECT_EQ(g.m, c.m);
+      EXPECT_EQ(g.n, c.n);
+      EXPECT_GT(g.k, 0);
+      EXPECT_DOUBLE_EQ(g.alpha, 0.5);
+      // a block is m*k elements, b block is n*k elements
+      EXPECT_EQ(fx.v.index().find(g.a_key)->size,
+                static_cast<int64_t>(g.m) * g.k);
+      EXPECT_EQ(fx.t.index().find(g.b_key)->size,
+                static_cast<int64_t>(g.n) * g.k);
+    }
+    EXPECT_EQ(static_cast<int64_t>(c.c_dims[0] * c.c_dims[1]),
+              static_cast<int64_t>(c.n));
+    EXPECT_EQ(static_cast<int64_t>(c.c_dims[2] * c.c_dims[3]),
+              static_cast<int64_t>(c.m));
+  }
+}
+
+TEST(Variants, ConfigsAreConsistent) {
+  for (const auto& v : VariantConfig::all()) {
+    EXPECT_NO_THROW(v.validate());
+  }
+  EXPECT_FALSE(VariantConfig::v1().parallel_gemms);
+  EXPECT_FALSE(VariantConfig::v2().priorities);
+  EXPECT_TRUE(VariantConfig::v3().parallel_writes);
+  EXPECT_FALSE(VariantConfig::v5().parallel_sorts);
+  VariantConfig bad = VariantConfig::v3();
+  bad.parallel_sorts = false;  // parallel writes without parallel sorts
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+}
+
+TEST(Variants, PrioritySchemeMatchesPaperFormula) {
+  const PriorityScheme p{100, 32};
+  // max_L1 - L1 + offset*P
+  EXPECT_DOUBLE_EQ(p.reader(10), 100 - 10 + 5 * 32);
+  EXPECT_DOUBLE_EQ(p.gemm(10), 100 - 10 + 1 * 32);
+  EXPECT_DOUBLE_EQ(p.other(10), 100 - 10);
+  // Priorities decrease with chain number within a class.
+  EXPECT_GT(p.gemm(3), p.gemm(4));
+}
+
+// --- executor equivalence (the paper's 14-digit agreement, claim C9) ---
+
+class ExecutorEquivalence : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fx_ = std::make_unique<PlanFixture>();
+    cluster_ = std::make_unique<vc::Cluster>(3);
+    v_ga_ = std::make_unique<ga::GlobalArray>(cluster_.get(), fx_->v.ga_size());
+    t_ga_ = std::make_unique<ga::GlobalArray>(cluster_.get(), fx_->t.ga_size());
+    r_ga_ = std::make_unique<ga::GlobalArray>(cluster_.get(), fx_->r.ga_size());
+
+    // Random (non-symmetric) data: executor equivalence must hold for any
+    // inputs since all executors perform the same arithmetic.
+    Rng rng(11);
+    fill_random(*v_ga_, rng);
+    fill_random(*t_ga_, rng);
+
+    storage_.v = {&fx_->v, v_ga_.get()};
+    storage_.t = {&fx_->t, t_ga_.get()};
+    storage_.r = {&fx_->r, r_ga_.get()};
+
+    reference_.assign(static_cast<size_t>(fx_->r.ga_size()), 0.0);
+    execute_reference(fx_->plan, storage_);
+    r_ga_->get(0, fx_->r.ga_size(), reference_.data());
+  }
+
+  static void fill_random(ga::GlobalArray& g, Rng& rng) {
+    std::vector<double> data(static_cast<size_t>(g.size()));
+    for (auto& x : data) x = rng.uniform(-1.0, 1.0);
+    g.put(0, g.size(), data.data());
+  }
+
+  double max_diff_vs_reference() {
+    std::vector<double> out(reference_.size());
+    r_ga_->get(0, r_ga_->size(), out.data());
+    double m = 0.0;
+    for (size_t i = 0; i < out.size(); ++i) {
+      m = std::max(m, std::fabs(out[i] - reference_[i]));
+    }
+    return m;
+  }
+
+  std::unique_ptr<PlanFixture> fx_;
+  std::unique_ptr<vc::Cluster> cluster_;
+  std::unique_ptr<ga::GlobalArray> v_ga_, t_ga_, r_ga_;
+  T2_7Storage storage_;
+  std::vector<double> reference_;
+};
+
+TEST_F(ExecutorEquivalence, ReferenceIsDeterministic) {
+  r_ga_->zero();
+  execute_reference(fx_->plan, storage_);
+  EXPECT_EQ(max_diff_vs_reference(), 0.0);
+}
+
+TEST_F(ExecutorEquivalence, OriginalMatchesReference) {
+  r_ga_->zero();
+  ga::NxtVal nxtval(cluster_.get(), 1);
+  OriginalExecOptions opts;
+  opts.workers_per_rank = 2;
+  cluster_->run([&](vc::RankCtx& rctx) {
+    execute_original(rctx, fx_->plan, storage_, nxtval, opts);
+  });
+  EXPECT_LT(max_diff_vs_reference(), 1e-12);
+}
+
+class PtgVariantEquivalence
+    : public ExecutorEquivalence,
+      public ::testing::WithParamInterface<int> {};
+
+TEST_P(PtgVariantEquivalence, MatchesReference) {
+  const auto variant = VariantConfig::all()[static_cast<size_t>(GetParam())];
+  r_ga_->zero();
+  PtgExecOptions opts;
+  opts.variant = variant;
+  opts.workers_per_rank = 2;
+  uint64_t total_tasks = 0, total_expected = 0;
+  std::mutex mu;
+  cluster_->run([&](vc::RankCtx& rctx) {
+    const auto res = execute_ptg(rctx, fx_->plan, storage_, opts);
+    std::lock_guard lock(mu);
+    total_tasks += res.tasks_executed;
+    total_expected += res.expected_tasks;
+  });
+  EXPECT_EQ(total_tasks, total_expected);
+  EXPECT_LT(max_diff_vs_reference(), 1e-12)
+      << "variant " << variant.name << " diverged from reference";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, PtgVariantEquivalence,
+                         ::testing::Range(0, 5), [](const auto& info) {
+                           return VariantConfig::all()[static_cast<size_t>(
+                                                           info.param)]
+                               .name;
+                         });
+
+TEST_F(ExecutorEquivalence, PtgTaskCountsMatchVariantStructure) {
+  // For v5: tasks = 2*gemms (reads) + gemms + (gemms - 1 per chain with
+  // len>1 reduces) + 1 sort + 1 write per chain.
+  const auto st = fx_->plan.stats();
+  uint64_t expect = 3 * st.num_gemms + st.num_chains * 2;
+  for (const Chain& c : fx_->plan.chains) {
+    if (c.gemms.size() > 1) expect += c.gemms.size() - 1;
+  }
+  r_ga_->zero();
+  PtgExecOptions opts;
+  opts.variant = VariantConfig::v5();
+  uint64_t total_tasks = 0;
+  std::mutex mu;
+  cluster_->run([&](vc::RankCtx& rctx) {
+    const auto res = execute_ptg(rctx, fx_->plan, storage_, opts);
+    std::lock_guard lock(mu);
+    total_tasks += res.tasks_executed;
+  });
+  EXPECT_EQ(total_tasks, expect);
+}
+
+TEST_F(ExecutorEquivalence, TracingProducesEventsForAllClasses) {
+  r_ga_->zero();
+  PtgExecOptions opts;
+  opts.variant = VariantConfig::v4();
+  opts.enable_tracing = true;
+  std::set<int16_t> classes_seen;
+  std::mutex mu;
+  cluster_->run([&](vc::RankCtx& rctx) {
+    const auto res = execute_ptg(rctx, fx_->plan, storage_, opts);
+    std::lock_guard lock(mu);
+    for (const auto& e : res.trace.events()) {
+      if (!e.is_comm) classes_seen.insert(e.cls);
+    }
+  });
+  // v4: READ_A, READ_B, GEMM, REDUCE, SORT_i, WRITE_C = 6 classes.
+  EXPECT_EQ(classes_seen.size(), 6u);
+}
+
+}  // namespace
+}  // namespace mp::tce

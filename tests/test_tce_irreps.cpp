@@ -1,0 +1,117 @@
+// Tests for the point-group (irrep) symmetry extension of the tile
+// machinery: real TCE carries spatial symmetry labels (beta-carotene is
+// C2h); blocks must conserve the irrep product in addition to spin.
+#include <gtest/gtest.h>
+
+#include "sim/presets.h"
+#include "sim/ptg_sim.h"
+#include "tce/block_tensor.h"
+#include "tce/inspector.h"
+#include "tce/tiles.h"
+
+namespace mp::tce {
+namespace {
+
+TEST(Irreps, XorGuardIsTotallySymmetricProduct) {
+  EXPECT_TRUE(irrep_conserving(0, 0, 0, 0));
+  EXPECT_TRUE(irrep_conserving(1, 1, 0, 0));
+  EXPECT_TRUE(irrep_conserving(1, 0, 1, 0));
+  EXPECT_TRUE(irrep_conserving(1, 0, 0, 1));
+  EXPECT_FALSE(irrep_conserving(1, 0, 0, 0));
+  EXPECT_TRUE(irrep_conserving(3, 2, 1, 0));  // 3^2=1, 1^0=1
+  EXPECT_FALSE(irrep_conserving(3, 2, 1, 1));
+}
+
+TEST(Irreps, TilesGetCyclicLabels) {
+  TileSpaceSpec spec;
+  spec.n_occ_alpha = spec.n_occ_beta = 8;
+  spec.n_virt_alpha = spec.n_virt_beta = 8;
+  spec.tile_size = 2;
+  spec.num_irreps = 4;
+  TileSpace space(spec);
+  // 4 tiles per spin per range -> irreps 0,1,2,3 cycle.
+  const auto& occ = space.occ_tiles();
+  EXPECT_EQ(occ[0].irrep, 0);
+  EXPECT_EQ(occ[1].irrep, 1);
+  EXPECT_EQ(occ[2].irrep, 2);
+  EXPECT_EQ(occ[3].irrep, 3);
+  EXPECT_EQ(occ[4].irrep, 0);  // beta range restarts
+}
+
+TEST(Irreps, RejectsNonAbelianCounts) {
+  TileSpaceSpec spec;
+  spec.n_occ_alpha = spec.n_occ_beta = 4;
+  spec.n_virt_alpha = spec.n_virt_beta = 4;
+  spec.tile_size = 2;
+  spec.num_irreps = 3;
+  EXPECT_THROW(TileSpace{spec}, InvalidArgument);
+}
+
+TEST(Irreps, SymmetryThinsBlockStructure) {
+  TileSpaceSpec spec;
+  spec.n_occ_alpha = spec.n_occ_beta = 8;
+  spec.n_virt_alpha = spec.n_virt_beta = 16;
+  spec.tile_size = 4;
+
+  spec.num_irreps = 1;
+  TileSpace c1(spec);
+  BlockTensor4 t_c1(c1, {RangeKind::kVirt, RangeKind::kVirt, RangeKind::kOcc,
+                         RangeKind::kOcc});
+  spec.num_irreps = 2;
+  TileSpace c2h(spec);
+  BlockTensor4 t_c2h(c2h, {RangeKind::kVirt, RangeKind::kVirt,
+                           RangeKind::kOcc, RangeKind::kOcc});
+  // Two irreps keep roughly half the spin-allowed blocks.
+  EXPECT_LT(t_c2h.index().num_blocks(), t_c1.index().num_blocks());
+  EXPECT_GT(t_c2h.index().num_blocks(), t_c1.index().num_blocks() / 3);
+}
+
+TEST(Irreps, EveryRegisteredBlockSatisfiesBothGuards) {
+  TileSpaceSpec spec;
+  spec.n_occ_alpha = spec.n_occ_beta = 6;
+  spec.n_virt_alpha = spec.n_virt_beta = 6;
+  spec.tile_size = 3;
+  spec.num_irreps = 2;
+  TileSpace space(spec);
+  BlockTensor4 t(space, {RangeKind::kVirt, RangeKind::kVirt, RangeKind::kOcc,
+                         RangeKind::kOcc});
+  const auto& vt = space.virt_tiles();
+  const auto& ot = space.occ_tiles();
+  for (const uint64_t key : t.index().keys()) {
+    const auto& a = vt[(key >> 48) & 0xFFFF];
+    const auto& b = vt[(key >> 32) & 0xFFFF];
+    const auto& c = ot[(key >> 16) & 0xFFFF];
+    const auto& d = ot[key & 0xFFFF];
+    EXPECT_TRUE(spin_conserving(a.spin, b.spin, c.spin, d.spin));
+    EXPECT_TRUE(irrep_conserving(a.irrep, b.irrep, c.irrep, d.irrep));
+  }
+}
+
+TEST(Irreps, C2hPresetHasWiderChainLengthSpread) {
+  const auto c1 = sim::make_preset("beta_carotene_32");
+  const auto c2h = sim::make_preset("beta_carotene_c2h");
+  const auto s1 = c1.plan.stats();
+  const auto s2 = c2h.plan.stats();
+  // Symmetry removes work and increases relative length variance.
+  EXPECT_LT(s2.num_gemms, s1.num_gemms);
+  const double rel1 = static_cast<double>(s1.max_chain_len - s1.min_chain_len) /
+                      s1.mean_chain_len;
+  const double rel2 = static_cast<double>(s2.max_chain_len - s2.min_chain_len) /
+                      s2.mean_chain_len;
+  EXPECT_GT(rel2, rel1);
+}
+
+TEST(Irreps, C2hPresetSimulates) {
+  const auto p = sim::make_preset("beta_carotene_c2h");
+  sim::GraphOptions gopts;
+  gopts.variant = VariantConfig::v5();
+  gopts.nodes = 8;
+  const auto g = sim::build_graph(p.plan, gopts);
+  sim::SimOptions sopts;
+  sopts.cores_per_node = 4;
+  const auto res = sim::simulate_ptg(g, sopts);
+  EXPECT_GT(res.makespan, 0.0);
+}
+
+}  // namespace
+}  // namespace mp::tce

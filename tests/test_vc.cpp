@@ -1,0 +1,276 @@
+// Tests for the virtual cluster: mailboxes, wire serialization, fabric
+// routing (immediate and delayed), SPMD execution, collectives, counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "vc/cluster.h"
+#include "vc/fabric.h"
+#include "vc/mailbox.h"
+#include "vc/message.h"
+
+namespace mp::vc {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Wire, PodRoundTrip) {
+  WireWriter w;
+  w.put<int32_t>(-7);
+  w.put<uint64_t>(123456789ULL);
+  w.put<double>(3.5);
+  const Payload p = w.take();
+  WireReader r(p);
+  EXPECT_EQ(r.get<int32_t>(), -7);
+  EXPECT_EQ(r.get<uint64_t>(), 123456789ULL);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.5);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, DoubleArrayRoundTrip) {
+  WireWriter w;
+  std::vector<double> xs{1.0, -2.0, 0.25};
+  w.put_doubles(xs.data(), xs.size());
+  const Payload p = w.take();
+  WireReader r(p);
+  EXPECT_EQ(r.get_doubles(), xs);
+}
+
+TEST(Wire, TruncatedMessageThrows) {
+  WireWriter w;
+  w.put<int32_t>(1);
+  const Payload p = w.take();
+  WireReader r(p);
+  EXPECT_THROW(r.get<uint64_t>(), InvalidArgument);
+}
+
+TEST(Mailbox, PushPopFifo) {
+  Mailbox mb;
+  for (int i = 0; i < 5; ++i) {
+    Message m;
+    m.tag = i;
+    EXPECT_TRUE(mb.push(std::move(m)));
+  }
+  for (int i = 0; i < 5; ++i) {
+    auto m = mb.try_pop();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->tag, i);
+  }
+  EXPECT_FALSE(mb.try_pop().has_value());
+}
+
+TEST(Mailbox, PopWaitTimesOut) {
+  Mailbox mb;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(mb.pop_wait(5ms).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 4ms);
+}
+
+TEST(Mailbox, PopWaitWakesOnPush) {
+  Mailbox mb;
+  std::thread t([&] {
+    std::this_thread::sleep_for(2ms);
+    Message m;
+    m.tag = 42;
+    mb.push(std::move(m));
+  });
+  auto m = mb.pop_wait(500ms);
+  t.join();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->tag, 42);
+}
+
+TEST(Mailbox, CloseWakesWaitersAndRejectsPush) {
+  Mailbox mb;
+  std::thread t([&] {
+    std::this_thread::sleep_for(2ms);
+    mb.close();
+  });
+  EXPECT_FALSE(mb.pop_wait(1s).has_value());
+  t.join();
+  Message m;
+  EXPECT_FALSE(mb.push(std::move(m)));
+  EXPECT_TRUE(mb.closed());
+}
+
+TEST(Mailbox, DrainAfterClose) {
+  Mailbox mb;
+  Message m;
+  m.tag = 1;
+  mb.push(std::move(m));
+  mb.close();
+  EXPECT_TRUE(mb.try_pop().has_value());
+}
+
+TEST(Fabric, ImmediateDelivery) {
+  std::vector<Mailbox> boxes(2);
+  Fabric f(&boxes, {});
+  Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.tag = 9;
+  f.send(std::move(m));
+  auto got = boxes[1].try_pop();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->tag, 9);
+  EXPECT_EQ(f.messages_sent(), 1u);
+}
+
+TEST(Fabric, RejectsBadDestination) {
+  std::vector<Mailbox> boxes(2);
+  Fabric f(&boxes, {});
+  Message m;
+  m.dst = 5;
+  EXPECT_THROW(f.send(std::move(m)), InvalidArgument);
+}
+
+TEST(Fabric, DelayedDeliveryPreservesOrder) {
+  std::vector<Mailbox> boxes(1);
+  FabricConfig cfg;
+  cfg.latency_us = 200.0;
+  Fabric f(&boxes, cfg);
+  for (int i = 0; i < 10; ++i) {
+    Message m;
+    m.dst = 0;
+    m.tag = i;
+    f.send(std::move(m));
+  }
+  for (int i = 0; i < 10; ++i) {
+    auto m = boxes[0].pop_wait(1s);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->tag, i);
+  }
+}
+
+TEST(Fabric, DelayedDeliveryAddsLatency) {
+  std::vector<Mailbox> boxes(1);
+  FabricConfig cfg;
+  cfg.latency_us = 3000.0;
+  Fabric f(&boxes, cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  Message m;
+  m.dst = 0;
+  f.send(std::move(m));
+  auto got = boxes[0].pop_wait(1s);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 2500us);
+}
+
+TEST(Fabric, ShutdownFlushesPending) {
+  std::vector<Mailbox> boxes(1);
+  FabricConfig cfg;
+  cfg.latency_us = 50000.0;  // long enough that shutdown happens first
+  auto f = std::make_unique<Fabric>(&boxes, cfg);
+  Message m;
+  m.dst = 0;
+  m.tag = 77;
+  f->send(std::move(m));
+  f->shutdown();
+  auto got = boxes[0].try_pop();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->tag, 77);
+}
+
+TEST(Cluster, RunExecutesEveryRank) {
+  Cluster c(4);
+  std::atomic<int> mask{0};
+  c.run([&](RankCtx& ctx) { mask.fetch_or(1 << ctx.rank()); });
+  EXPECT_EQ(mask.load(), 0xF);
+}
+
+TEST(Cluster, SendRecvAcrossRanks) {
+  Cluster c(2);
+  c.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      WireWriter w;
+      w.put<int>(123);
+      ctx.send(1, 7, w.take());
+    } else {
+      auto m = ctx.mailbox().pop_wait(2s);
+      ASSERT_TRUE(m.has_value());
+      EXPECT_EQ(m->src, 0);
+      EXPECT_EQ(m->tag, 7);
+      WireReader r(m->payload);
+      EXPECT_EQ(r.get<int>(), 123);
+    }
+  });
+}
+
+TEST(Cluster, BarrierSynchronizes) {
+  Cluster c(3);
+  std::atomic<int> before{0};
+  std::atomic<bool> violated{false};
+  c.run([&](RankCtx& ctx) {
+    before.fetch_add(1);
+    ctx.barrier();
+    if (before.load() != 3) violated.store(true);
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(Cluster, AllreduceSum) {
+  Cluster c(4);
+  std::vector<double> results(4, 0.0);
+  c.run([&](RankCtx& ctx) {
+    results[static_cast<size_t>(ctx.rank())] =
+        ctx.allreduce_sum(static_cast<double>(ctx.rank() + 1));
+  });
+  for (double r : results) EXPECT_DOUBLE_EQ(r, 10.0);
+}
+
+TEST(Cluster, AllreduceMax) {
+  Cluster c(3);
+  std::vector<double> results(3, 0.0);
+  c.run([&](RankCtx& ctx) {
+    results[static_cast<size_t>(ctx.rank())] =
+        ctx.allreduce_max(static_cast<double>((ctx.rank() * 7) % 5));
+  });
+  for (double r : results) EXPECT_DOUBLE_EQ(r, 4.0);
+}
+
+TEST(Cluster, BackToBackAllreducesDontInterfere) {
+  Cluster c(4);
+  std::atomic<bool> bad{false};
+  c.run([&](RankCtx& ctx) {
+    for (int i = 0; i < 20; ++i) {
+      const double s = ctx.allreduce_sum(1.0);
+      if (s != 4.0) bad.store(true);
+    }
+  });
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(Cluster, SharedCounterIsMonotonicAcrossRanks) {
+  Cluster c(4);
+  std::mutex mu;
+  std::vector<long> tickets;
+  c.run([&](RankCtx& ctx) {
+    for (int i = 0; i < 100; ++i) {
+      const long t = ctx.cluster().fetch_add_counter(0, 1);
+      std::lock_guard lock(mu);
+      tickets.push_back(t);
+    }
+  });
+  std::sort(tickets.begin(), tickets.end());
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    EXPECT_EQ(tickets[i], static_cast<long>(i));  // unique & dense
+  }
+}
+
+TEST(Cluster, ExceptionInRankPropagates) {
+  Cluster c(2);
+  EXPECT_THROW(c.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 1) throw std::runtime_error("rank 1 failed");
+  }),
+               std::runtime_error);
+}
+
+TEST(Cluster, RejectsZeroRanks) {
+  EXPECT_THROW(Cluster c(0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mp::vc
