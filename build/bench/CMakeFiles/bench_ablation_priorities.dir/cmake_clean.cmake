@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_priorities.dir/bench_ablation_priorities.cpp.o"
+  "CMakeFiles/bench_ablation_priorities.dir/bench_ablation_priorities.cpp.o.d"
+  "bench_ablation_priorities"
+  "bench_ablation_priorities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_priorities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fused_subroutines.dir/bench_fused_subroutines.cpp.o"
+  "CMakeFiles/bench_fused_subroutines.dir/bench_fused_subroutines.cpp.o.d"
+  "bench_fused_subroutines"
+  "bench_fused_subroutines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fused_subroutines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_variants_real.dir/bench_variants_real.cpp.o"
+  "CMakeFiles/bench_variants_real.dir/bench_variants_real.cpp.o.d"
+  "bench_variants_real"
+  "bench_variants_real.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_variants_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsd_energy.dir/ccsd_energy.cpp.o"
+  "CMakeFiles/ccsd_energy.dir/ccsd_energy.cpp.o.d"
+  "ccsd_energy"
+  "ccsd_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsd_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t2_7_variants.dir/t2_7_variants.cpp.o"
+  "CMakeFiles/t2_7_variants.dir/t2_7_variants.cpp.o.d"
+  "t2_7_variants"
+  "t2_7_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t2_7_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_apps.dir/cholesky.cpp.o"
+  "CMakeFiles/mp_apps.dir/cholesky.cpp.o.d"
+  "libmp_apps.a"
+  "libmp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_cc.dir/ccsd.cpp.o"
+  "CMakeFiles/mp_cc.dir/ccsd.cpp.o.d"
+  "CMakeFiles/mp_cc.dir/integration.cpp.o"
+  "CMakeFiles/mp_cc.dir/integration.cpp.o.d"
+  "CMakeFiles/mp_cc.dir/model.cpp.o"
+  "CMakeFiles/mp_cc.dir/model.cpp.o.d"
+  "libmp_cc.a"
+  "libmp_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

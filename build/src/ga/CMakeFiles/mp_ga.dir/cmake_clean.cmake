@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_ga.dir/global_array.cpp.o"
+  "CMakeFiles/mp_ga.dir/global_array.cpp.o.d"
+  "CMakeFiles/mp_ga.dir/hash_block.cpp.o"
+  "CMakeFiles/mp_ga.dir/hash_block.cpp.o.d"
+  "libmp_ga.a"
+  "libmp_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/mp_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/mp_linalg.dir/gemm.cpp.o"
+  "CMakeFiles/mp_linalg.dir/gemm.cpp.o.d"
+  "CMakeFiles/mp_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/mp_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/mp_linalg.dir/solve.cpp.o"
+  "CMakeFiles/mp_linalg.dir/solve.cpp.o.d"
+  "CMakeFiles/mp_linalg.dir/sort4.cpp.o"
+  "CMakeFiles/mp_linalg.dir/sort4.cpp.o.d"
+  "libmp_linalg.a"
+  "libmp_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

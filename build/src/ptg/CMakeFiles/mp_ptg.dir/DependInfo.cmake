@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ptg/context.cpp" "src/ptg/CMakeFiles/mp_ptg.dir/context.cpp.o" "gcc" "src/ptg/CMakeFiles/mp_ptg.dir/context.cpp.o.d"
+  "/root/repo/src/ptg/scheduler.cpp" "src/ptg/CMakeFiles/mp_ptg.dir/scheduler.cpp.o" "gcc" "src/ptg/CMakeFiles/mp_ptg.dir/scheduler.cpp.o.d"
+  "/root/repo/src/ptg/taskpool.cpp" "src/ptg/CMakeFiles/mp_ptg.dir/taskpool.cpp.o" "gcc" "src/ptg/CMakeFiles/mp_ptg.dir/taskpool.cpp.o.d"
+  "/root/repo/src/ptg/trace.cpp" "src/ptg/CMakeFiles/mp_ptg.dir/trace.cpp.o" "gcc" "src/ptg/CMakeFiles/mp_ptg.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vc/CMakeFiles/mp_vc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

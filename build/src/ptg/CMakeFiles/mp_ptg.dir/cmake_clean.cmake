@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_ptg.dir/context.cpp.o"
+  "CMakeFiles/mp_ptg.dir/context.cpp.o.d"
+  "CMakeFiles/mp_ptg.dir/scheduler.cpp.o"
+  "CMakeFiles/mp_ptg.dir/scheduler.cpp.o.d"
+  "CMakeFiles/mp_ptg.dir/taskpool.cpp.o"
+  "CMakeFiles/mp_ptg.dir/taskpool.cpp.o.d"
+  "CMakeFiles/mp_ptg.dir/trace.cpp.o"
+  "CMakeFiles/mp_ptg.dir/trace.cpp.o.d"
+  "libmp_ptg.a"
+  "libmp_ptg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_ptg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/mp_sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/mp_sim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sim/original_sim.cpp" "src/sim/CMakeFiles/mp_sim.dir/original_sim.cpp.o" "gcc" "src/sim/CMakeFiles/mp_sim.dir/original_sim.cpp.o.d"
+  "/root/repo/src/sim/presets.cpp" "src/sim/CMakeFiles/mp_sim.dir/presets.cpp.o" "gcc" "src/sim/CMakeFiles/mp_sim.dir/presets.cpp.o.d"
+  "/root/repo/src/sim/ptg_sim.cpp" "src/sim/CMakeFiles/mp_sim.dir/ptg_sim.cpp.o" "gcc" "src/sim/CMakeFiles/mp_sim.dir/ptg_sim.cpp.o.d"
+  "/root/repo/src/sim/task_graph.cpp" "src/sim/CMakeFiles/mp_sim.dir/task_graph.cpp.o" "gcc" "src/sim/CMakeFiles/mp_sim.dir/task_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tce/CMakeFiles/mp_tce.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptg/CMakeFiles/mp_ptg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ga/CMakeFiles/mp_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/vc/CMakeFiles/mp_vc.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

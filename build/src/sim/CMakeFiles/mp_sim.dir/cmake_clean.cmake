@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/mp_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/mp_sim.dir/original_sim.cpp.o"
+  "CMakeFiles/mp_sim.dir/original_sim.cpp.o.d"
+  "CMakeFiles/mp_sim.dir/presets.cpp.o"
+  "CMakeFiles/mp_sim.dir/presets.cpp.o.d"
+  "CMakeFiles/mp_sim.dir/ptg_sim.cpp.o"
+  "CMakeFiles/mp_sim.dir/ptg_sim.cpp.o.d"
+  "CMakeFiles/mp_sim.dir/task_graph.cpp.o"
+  "CMakeFiles/mp_sim.dir/task_graph.cpp.o.d"
+  "libmp_sim.a"
+  "libmp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

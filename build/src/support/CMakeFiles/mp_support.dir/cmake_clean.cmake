@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_support.dir/log.cpp.o"
+  "CMakeFiles/mp_support.dir/log.cpp.o.d"
+  "CMakeFiles/mp_support.dir/stats.cpp.o"
+  "CMakeFiles/mp_support.dir/stats.cpp.o.d"
+  "libmp_support.a"
+  "libmp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tce/block_tensor.cpp" "src/tce/CMakeFiles/mp_tce.dir/block_tensor.cpp.o" "gcc" "src/tce/CMakeFiles/mp_tce.dir/block_tensor.cpp.o.d"
+  "/root/repo/src/tce/chain_plan.cpp" "src/tce/CMakeFiles/mp_tce.dir/chain_plan.cpp.o" "gcc" "src/tce/CMakeFiles/mp_tce.dir/chain_plan.cpp.o.d"
+  "/root/repo/src/tce/inspector.cpp" "src/tce/CMakeFiles/mp_tce.dir/inspector.cpp.o" "gcc" "src/tce/CMakeFiles/mp_tce.dir/inspector.cpp.o.d"
+  "/root/repo/src/tce/original_exec.cpp" "src/tce/CMakeFiles/mp_tce.dir/original_exec.cpp.o" "gcc" "src/tce/CMakeFiles/mp_tce.dir/original_exec.cpp.o.d"
+  "/root/repo/src/tce/ptg_exec.cpp" "src/tce/CMakeFiles/mp_tce.dir/ptg_exec.cpp.o" "gcc" "src/tce/CMakeFiles/mp_tce.dir/ptg_exec.cpp.o.d"
+  "/root/repo/src/tce/reference_exec.cpp" "src/tce/CMakeFiles/mp_tce.dir/reference_exec.cpp.o" "gcc" "src/tce/CMakeFiles/mp_tce.dir/reference_exec.cpp.o.d"
+  "/root/repo/src/tce/tiles.cpp" "src/tce/CMakeFiles/mp_tce.dir/tiles.cpp.o" "gcc" "src/tce/CMakeFiles/mp_tce.dir/tiles.cpp.o.d"
+  "/root/repo/src/tce/variants.cpp" "src/tce/CMakeFiles/mp_tce.dir/variants.cpp.o" "gcc" "src/tce/CMakeFiles/mp_tce.dir/variants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ga/CMakeFiles/mp_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptg/CMakeFiles/mp_ptg.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/vc/CMakeFiles/mp_vc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

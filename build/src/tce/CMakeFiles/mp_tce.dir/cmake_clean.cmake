@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_tce.dir/block_tensor.cpp.o"
+  "CMakeFiles/mp_tce.dir/block_tensor.cpp.o.d"
+  "CMakeFiles/mp_tce.dir/chain_plan.cpp.o"
+  "CMakeFiles/mp_tce.dir/chain_plan.cpp.o.d"
+  "CMakeFiles/mp_tce.dir/inspector.cpp.o"
+  "CMakeFiles/mp_tce.dir/inspector.cpp.o.d"
+  "CMakeFiles/mp_tce.dir/original_exec.cpp.o"
+  "CMakeFiles/mp_tce.dir/original_exec.cpp.o.d"
+  "CMakeFiles/mp_tce.dir/ptg_exec.cpp.o"
+  "CMakeFiles/mp_tce.dir/ptg_exec.cpp.o.d"
+  "CMakeFiles/mp_tce.dir/reference_exec.cpp.o"
+  "CMakeFiles/mp_tce.dir/reference_exec.cpp.o.d"
+  "CMakeFiles/mp_tce.dir/tiles.cpp.o"
+  "CMakeFiles/mp_tce.dir/tiles.cpp.o.d"
+  "CMakeFiles/mp_tce.dir/variants.cpp.o"
+  "CMakeFiles/mp_tce.dir/variants.cpp.o.d"
+  "libmp_tce.a"
+  "libmp_tce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_tce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_vc.dir/cluster.cpp.o"
+  "CMakeFiles/mp_vc.dir/cluster.cpp.o.d"
+  "CMakeFiles/mp_vc.dir/fabric.cpp.o"
+  "CMakeFiles/mp_vc.dir/fabric.cpp.o.d"
+  "libmp_vc.a"
+  "libmp_vc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_vc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ptg.dir/test_ptg.cpp.o"
+  "CMakeFiles/test_ptg.dir/test_ptg.cpp.o.d"
+  "test_ptg"
+  "test_ptg.pdb"
+  "test_ptg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ptg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ptg_stress.dir/test_ptg_stress.cpp.o"
+  "CMakeFiles/test_ptg_stress.dir/test_ptg_stress.cpp.o.d"
+  "test_ptg_stress"
+  "test_ptg_stress.pdb"
+  "test_ptg_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ptg_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tce.dir/test_tce.cpp.o"
+  "CMakeFiles/test_tce.dir/test_tce.cpp.o.d"
+  "test_tce"
+  "test_tce.pdb"
+  "test_tce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tce_irreps.dir/test_tce_irreps.cpp.o"
+  "CMakeFiles/test_tce_irreps.dir/test_tce_irreps.cpp.o.d"
+  "test_tce_irreps"
+  "test_tce_irreps.pdb"
+  "test_tce_irreps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tce_irreps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vc.dir/test_vc.cpp.o"
+  "CMakeFiles/test_vc.dir/test_vc.cpp.o.d"
+  "test_vc"
+  "test_vc.pdb"
+  "test_vc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

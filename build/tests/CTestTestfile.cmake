@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_vc[1]_include.cmake")
+include("/root/repo/build/tests/test_ga[1]_include.cmake")
+include("/root/repo/build/tests/test_ptg[1]_include.cmake")
+include("/root/repo/build/tests/test_tce[1]_include.cmake")
+include("/root/repo/build/tests/test_cc[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_fused[1]_include.cmake")
+include("/root/repo/build/tests/test_cholesky[1]_include.cmake")
+include("/root/repo/build/tests/test_ptg_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_tce_irreps[1]_include.cmake")
+include("/root/repo/build/tests/test_plan_properties[1]_include.cmake")
