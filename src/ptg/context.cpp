@@ -1,5 +1,6 @@
 #include "ptg/context.h"
 
+#include <sstream>
 #include <thread>
 
 #include "support/error.h"
@@ -41,6 +42,18 @@ void Context::enumerate_startup() {
   }
 }
 
+void Context::wake_one() {
+  // Taking wake_mu_ orders this notify against a worker's predicate check,
+  // closing the lost-wakeup window between its failed try_pop and its wait.
+  std::lock_guard lock(wake_mu_);
+  wake_cv_.notify_one();
+}
+
+void Context::wake_all() {
+  std::lock_guard lock(wake_mu_);
+  wake_cv_.notify_all();
+}
+
 void Context::make_ready(const TaskKey& key, std::vector<DataBuf> inputs,
                          int worker_hint) {
   ReadyTask t;
@@ -49,7 +62,7 @@ void Context::make_ready(const TaskKey& key, std::vector<DataBuf> inputs,
   t.seq = seq_.fetch_add(1, std::memory_order_relaxed);
   t.priority = effective_priority(pool_.cls(key.cls), key.p);
   sched_->push(std::move(t), worker_hint);
-  wake_cv_.notify_one();
+  wake_one();
 }
 
 void Context::deposit(const TaskKey& key, int slot, DataBuf buf) {
@@ -71,6 +84,7 @@ void Context::deposit(const TaskKey& key, int slot, DataBuf buf) {
     MP_REQUIRE(e.inputs[static_cast<size_t>(slot)] == nullptr,
                "double deposit into the same input slot");
     e.inputs[static_cast<size_t>(slot)] = std::move(buf);
+    progress_.fetch_add(1, std::memory_order_relaxed);
     if (++e.arrived < e.threshold) return;
     ready_inputs = std::move(e.inputs);
     shard.map.erase(key);
@@ -123,9 +137,10 @@ void Context::execute_task(ReadyTask t, int wid) {
     }
   }
 
+  progress_.fetch_add(1, std::memory_order_relaxed);
   if (executed_.fetch_add(1, std::memory_order_acq_rel) + 1 == expected_) {
     done_.store(true, std::memory_order_release);
-    wake_cv_.notify_all();
+    wake_all();
   }
 }
 
@@ -146,31 +161,67 @@ void Context::record_error() {
   // Force a shutdown: remaining tasks will never run, but every thread
   // must unwind cleanly so run() can rethrow.
   done_.store(true, std::memory_order_release);
-  wake_cv_.notify_all();
+  wake_all();
 }
 
 void Context::worker_loop(int wid) {
   ReadyTask t;
   while (true) {
     if (!done_.load(std::memory_order_acquire) && sched_->try_pop(t, wid)) {
+      active_workers_.fetch_add(1, std::memory_order_relaxed);
       try {
         execute_task(std::move(t), wid);
       } catch (...) {
+        active_workers_.fetch_sub(1, std::memory_order_relaxed);
         record_error();
         return;
       }
+      active_workers_.fetch_sub(1, std::memory_order_relaxed);
       continue;
     }
     if (done_.load(std::memory_order_acquire)) return;
+    // Block until woken: every push and every done_ transition notifies
+    // while holding wake_mu_, so an idle runtime is fully quiescent (no
+    // periodic polling) and no wakeup can be lost.
     std::unique_lock lock(wake_mu_);
-    wake_cv_.wait_for(lock, 200us, [&] {
+    wake_cv_.wait(lock, [&] {
       return done_.load(std::memory_order_acquire) || sched_->size() > 0;
     });
   }
 }
 
+std::string Context::watchdog_dump() {
+  size_t pending_keys = 0, pending_arrived = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    pending_keys += shard.map.size();
+    for (const auto& kv : shard.map) {
+      pending_arrived += static_cast<size_t>(kv.second.arrived);
+    }
+  }
+  size_t outbox_depth = 0;
+  {
+    std::lock_guard lock(out_mu_);
+    outbox_depth = outbox_.size();
+  }
+  std::ostringstream os;
+  os << "PTG watchdog: rank " << rank() << " made no progress for "
+     << opts_.watchdog_timeout_ms
+     << " ms with tasks outstanding (likely a lost activation)."
+     << " executed=" << executed_.load() << "/" << expected_
+     << " pending_deposit_keys=" << pending_keys
+     << " pending_deposits_arrived=" << pending_arrived
+     << " ready_queue=" << sched_->size()
+     << " outbox_depth=" << outbox_depth
+     << " mailbox_depth=" << rctx_.mailbox().size()
+     << " remote_activations_sent=" << remote_sent_.load();
+  return os.str();
+}
+
 void Context::comm_loop() {
   vc::Mailbox& mb = rctx_.mailbox();
+  uint64_t watchdog_progress = progress_.load(std::memory_order_relaxed);
+  auto watchdog_mark = std::chrono::steady_clock::now();
   while (true) {
     // Drain the outbox: workers enqueue remote activations, the comm thread
     // performs the actual transfers (the paper's dedicated comm core).
@@ -189,12 +240,14 @@ void Context::comm_loop() {
         comm_events_.push_back(
             TraceEvent{rank(), -1, -1, {0, 0, 0}, t0, now(), true});
       }
+      progress_.fetch_add(1, std::memory_order_relaxed);
       sent_any = true;
     }
 
     // Poll for inbound activations.
     auto msg = sent_any ? mb.try_pop() : mb.pop_wait(100us);
     while (msg) {
+      progress_.fetch_add(1, std::memory_order_relaxed);
       if (msg->tag == kTagActivate) {
         try {
           vc::WireReader r(msg->payload);
@@ -221,9 +274,55 @@ void Context::comm_loop() {
       msg = mb.try_pop();
     }
 
+    // Watchdog: if tasks are outstanding but nothing has moved — no task
+    // executed, no deposit, no message in or out, no worker busy, nothing
+    // queued — for watchdog_timeout_ms, an activation was lost somewhere.
+    // Surface a diagnostic StateError instead of hanging forever.
+    if (opts_.watchdog_timeout_ms > 0.0 &&
+        !done_.load(std::memory_order_acquire)) {
+      const uint64_t p = progress_.load(std::memory_order_relaxed);
+      const auto now_tp = std::chrono::steady_clock::now();
+      if (p != watchdog_progress ||
+          active_workers_.load(std::memory_order_relaxed) > 0 ||
+          sched_->size() > 0) {
+        watchdog_progress = p;
+        watchdog_mark = now_tp;
+      } else if (std::chrono::duration<double, std::milli>(
+                     now_tp - watchdog_mark)
+                     .count() > opts_.watchdog_timeout_ms) {
+        const std::string dump = watchdog_dump();
+        MP_LOG_ERROR("%s", dump.c_str());
+        try {
+          throw StateError(dump);
+        } catch (...) {
+          record_error();
+        }
+      }
+    }
+
     if (comm_stop_.load(std::memory_order_acquire)) {
-      std::lock_guard lock(out_mu_);
-      if (outbox_.empty()) return;
+      bool outbox_empty;
+      {
+        std::lock_guard lock(out_mu_);
+        outbox_empty = outbox_.empty();
+      }
+      if (!outbox_empty) continue;  // flush remaining transfers first
+      // Workers are gone and the outbox is flushed. Drain the mailbox one
+      // final time so late inbound messages (e.g. aborts or activations
+      // still in flight from peers) are logged, not silently abandoned.
+      size_t discarded = 0;
+      while (auto late = mb.try_pop()) {
+        ++discarded;
+        MP_LOG_WARN(
+            "comm thread: rank %d discarding late message at shutdown "
+            "(src=%d tag=%d, %zu bytes)",
+            rank(), late->src, late->tag, late->payload.size());
+      }
+      if (discarded > 0) {
+        MP_LOG_WARN("comm thread: rank %d discarded %zu late message(s)",
+                    rank(), discarded);
+      }
+      return;
     }
   }
 }

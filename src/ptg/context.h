@@ -16,6 +16,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -31,6 +32,11 @@ struct Options {
   SchedPolicy policy = SchedPolicy::kPriority;
   bool use_priorities = true;     ///< false reproduces the paper's v2
   bool enable_tracing = false;    ///< record TraceEvents for Figs. 10-13
+  /// If no local progress happens for this long while tasks are still
+  /// outstanding (e.g. an activation was lost in the fabric), run() raises
+  /// a StateError carrying a diagnostic dump instead of hanging forever.
+  /// 0 disables the watchdog.
+  double watchdog_timeout_ms = 30000.0;
 };
 
 class Context {
@@ -80,6 +86,13 @@ class Context {
   void record_error();  ///< capture current exception, force shutdown
   void worker_loop(int wid);
   void comm_loop();
+  /// Wake one / all workers. The wake mutex is taken while notifying so a
+  /// worker checking its wait predicate can never miss the signal.
+  void wake_one();
+  void wake_all();
+  /// Diagnostic snapshot for the watchdog's StateError (executed/expected
+  /// counts, pending-deposit map sizes, queue depths).
+  std::string watchdog_dump();
   void deposit(const TaskKey& key, int slot, DataBuf buf);
   void make_ready(const TaskKey& key, std::vector<DataBuf> inputs,
                   int worker_hint);
@@ -114,6 +127,11 @@ class Context {
   std::deque<vc::Message> outbox_;
   std::atomic<uint64_t> remote_sent_{0};
   std::atomic<bool> comm_stop_{false};
+
+  // Progress tracking for the watchdog: bumped on every task execution,
+  // dependency deposit, outbound transfer and inbound message.
+  std::atomic<uint64_t> progress_{0};
+  std::atomic<int> active_workers_{0};
 
   std::chrono::steady_clock::time_point epoch_;
   std::vector<std::vector<TraceEvent>> worker_events_;

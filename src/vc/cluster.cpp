@@ -43,6 +43,10 @@ Cluster::Cluster(int nranks, FabricConfig fabric_cfg)
 }
 
 Cluster::~Cluster() {
+  // Flush the fabric before closing the mailboxes: messages still in
+  // flight get delivered (and remain drainable) instead of being dropped
+  // against closed mailboxes.
+  fabric_->shutdown();
   for (auto& mb : mailboxes_) mb.close();
 }
 

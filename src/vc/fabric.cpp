@@ -4,10 +4,26 @@
 
 namespace mp::vc {
 
+namespace {
+
+/// A delivery thread is needed whenever any message can be held back: real
+/// latency/bandwidth, or reordering jitter on any link.
+bool needs_delivery_thread(const FabricConfig& cfg) {
+  if (cfg.latency_us > 0.0 || cfg.bandwidth_Bps > 0.0) return true;
+  if (cfg.faults.reorder_jitter_us > 0.0) return true;
+  for (const auto& [link, fc] : cfg.link_faults) {
+    if (fc.reorder_jitter_us > 0.0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 Fabric::Fabric(std::vector<Mailbox>* mailboxes, FabricConfig cfg)
     : mailboxes_(mailboxes),
-      cfg_(cfg),
-      delayed_(cfg.latency_us > 0.0 || cfg.bandwidth_Bps > 0.0) {
+      cfg_(std::move(cfg)),
+      delayed_(needs_delivery_thread(cfg_)),
+      rng_(cfg_.fault_seed) {
   MP_REQUIRE(mailboxes_ != nullptr && !mailboxes_->empty(),
              "Fabric: need at least one mailbox");
   if (delayed_) {
@@ -17,14 +33,54 @@ Fabric::Fabric(std::vector<Mailbox>* mailboxes, FabricConfig cfg)
 
 Fabric::~Fabric() { shutdown(); }
 
+const FaultConfig& Fabric::fault_for(int src, int dst) const {
+  if (!cfg_.link_faults.empty()) {
+    const auto it = cfg_.link_faults.find({src, dst});
+    if (it != cfg_.link_faults.end()) return it->second;
+  }
+  return cfg_.faults;
+}
+
+void Fabric::count_sent(const Message& m) {
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(m.payload.size(), std::memory_order_relaxed);
+}
+
+void Fabric::deliver(Message m) {
+  const size_t bytes = m.payload.size();
+  if (!(*mailboxes_)[static_cast<size_t>(m.dst)].push(std::move(m))) {
+    messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+    bytes_dropped_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+}
+
 void Fabric::send(Message m) {
   MP_REQUIRE(m.dst >= 0 && static_cast<size_t>(m.dst) < mailboxes_->size(),
              "Fabric::send: bad destination rank");
-  messages_sent_.fetch_add(1, std::memory_order_relaxed);
-  bytes_sent_.fetch_add(m.payload.size(), std::memory_order_relaxed);
+  const FaultConfig& fc = fault_for(m.src, m.dst);
 
   if (!delayed_) {
-    (*mailboxes_)[static_cast<size_t>(m.dst)].push(std::move(m));
+    // Immediate delivery. The fault RNG is shared, so draws take mu_.
+    if (fc.drop_prob > 0.0 || fc.dup_prob > 0.0) {
+      bool drop = false, dup = false;
+      {
+        std::lock_guard lock(mu_);
+        drop = fc.drop_prob > 0.0 && rng_.next_double() < fc.drop_prob;
+        dup = !drop && fc.dup_prob > 0.0 && rng_.next_double() < fc.dup_prob;
+      }
+      count_sent(m);
+      if (drop) {
+        faults_dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if (dup) {
+        faults_duplicated_.fetch_add(1, std::memory_order_relaxed);
+        deliver(m);  // deliberate copy: the duplicate
+      }
+    } else {
+      count_sent(m);
+    }
+    deliver(std::move(m));
     return;
   }
 
@@ -33,28 +89,53 @@ void Fabric::send(Message m) {
       cfg_.bandwidth_Bps > 0.0
           ? static_cast<double>(m.payload.size()) / cfg_.bandwidth_Bps * 1e6
           : 0.0;
-  const auto delay = microseconds(
-      static_cast<int64_t>(cfg_.latency_us + service_us));
   {
     std::lock_guard lock(mu_);
-    if (stopping_) return;
-    pending_.push(
-        Pending{steady_clock::now() + delay, next_seq_++, std::move(m)});
+    if (stopping_) {
+      // Refused, not sent: shutdown already began.
+      messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+      bytes_dropped_.fetch_add(m.payload.size(), std::memory_order_relaxed);
+      return;
+    }
+    count_sent(m);
+    if (fc.drop_prob > 0.0 && rng_.next_double() < fc.drop_prob) {
+      faults_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    int copies = 1;
+    if (fc.dup_prob > 0.0 && rng_.next_double() < fc.dup_prob) {
+      copies = 2;
+      faults_duplicated_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const auto now = steady_clock::now();
+    for (int i = 0; i < copies; ++i) {
+      double jitter_us = 0.0;
+      if (fc.reorder_jitter_us > 0.0) {
+        jitter_us = rng_.uniform(0.0, fc.reorder_jitter_us);
+        if (jitter_us > 0.0) {
+          faults_reordered_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      const auto delay = microseconds(
+          static_cast<int64_t>(cfg_.latency_us + service_us + jitter_us));
+      Message copy = (i + 1 < copies) ? m : std::move(m);
+      pending_.push(Pending{now + delay, next_seq_++, std::move(copy)});
+    }
   }
   cv_.notify_one();
 }
 
 void Fabric::delivery_loop() {
   std::unique_lock lock(mu_);
-  for (;;) {
+  while (!stopping_) {
     if (pending_.empty()) {
-      if (stopping_) return;
       cv_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
       continue;
     }
     const auto when = pending_.top().deliver_at;
-    if (cv_.wait_until(lock, when,
-                       [&] { return stopping_ && pending_.empty(); })) {
+    // Wake immediately on stopping_: shutdown() flushes whatever is left,
+    // so there is no reason to sit out the simulated delivery deadlines.
+    if (cv_.wait_until(lock, when, [&] { return stopping_; })) {
       return;
     }
     const auto now = std::chrono::steady_clock::now();
@@ -62,7 +143,7 @@ void Fabric::delivery_loop() {
       Message m = std::move(const_cast<Pending&>(pending_.top()).msg);
       pending_.pop();
       lock.unlock();
-      (*mailboxes_)[static_cast<size_t>(m.dst)].push(std::move(m));
+      deliver(std::move(m));
       lock.lock();
     }
   }
@@ -77,13 +158,26 @@ void Fabric::shutdown() {
   }
   cv_.notify_all();
   if (delivery_thread_.joinable()) delivery_thread_.join();
-  // Flush anything still pending so no message is lost at shutdown.
+  // Flush anything still pending so no accepted message is lost; bounded
+  // by queue length, never by simulated delivery deadlines.
   std::lock_guard lock(mu_);
   while (!pending_.empty()) {
     Message m = std::move(const_cast<Pending&>(pending_.top()).msg);
     pending_.pop();
-    (*mailboxes_)[static_cast<size_t>(m.dst)].push(std::move(m));
+    deliver(std::move(m));
   }
+}
+
+FabricStats Fabric::stats() const {
+  FabricStats s;
+  s.messages_sent = messages_sent_.load();
+  s.bytes_sent = bytes_sent_.load();
+  s.messages_dropped = messages_dropped_.load();
+  s.bytes_dropped = bytes_dropped_.load();
+  s.faults_dropped = faults_dropped_.load();
+  s.faults_duplicated = faults_duplicated_.load();
+  s.faults_reordered = faults_reordered_.load();
+  return s;
 }
 
 }  // namespace mp::vc

@@ -3,26 +3,73 @@
 // delivery is immediate; with a configured latency/bandwidth a background
 // delivery thread holds each message until its arrival time, preserving
 // per-(src,dst) FIFO ordering like a real network conduit.
+//
+// For stress testing the runtime's termination protocol the fabric can also
+// inject faults: seeded, per-link message drops, duplications and reordering
+// jitter. Every fault is counted, so a test can reconcile what entered the
+// fabric against what came out the other side.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "support/rng.h"
 #include "vc/mailbox.h"
 #include "vc/message.h"
 
 namespace mp::vc {
+
+/// Fault-injection knobs for one link (or, as `FabricConfig::faults`, the
+/// default for every link). All probabilities are evaluated per message
+/// from a seeded RNG, so a given seed reproduces the exact fault pattern.
+struct FaultConfig {
+  /// Probability a message is silently lost in transit.
+  double drop_prob = 0.0;
+  /// Probability a message is delivered twice.
+  double dup_prob = 0.0;
+  /// Extra per-message delay drawn uniformly from [0, reorder_jitter_us),
+  /// breaking the fabric's per-link FIFO ordering.
+  double reorder_jitter_us = 0.0;
+
+  bool any() const {
+    return drop_prob > 0.0 || dup_prob > 0.0 || reorder_jitter_us > 0.0;
+  }
+};
 
 struct FabricConfig {
   /// One-way latency added to every message, microseconds.
   double latency_us = 0.0;
   /// Per-link bandwidth in bytes/second (0 = infinite).
   double bandwidth_Bps = 0.0;
+  /// Faults applied to every link unless overridden in `link_faults`.
+  FaultConfig faults;
+  /// Per-(src,dst) fault overrides; a present entry fully replaces `faults`
+  /// for that link.
+  std::map<std::pair<int, int>, FaultConfig> link_faults;
+  /// Seed for the fault RNG; identical seeds reproduce identical faults.
+  uint64_t fault_seed = 0x5eedfab51cULL;
+};
+
+/// Snapshot of the fabric's counters. `messages_sent` counts messages the
+/// fabric accepted (including ones later lost to injected faults);
+/// `messages_dropped` counts messages the fabric refused outright (sent
+/// after shutdown began, or destined for a closed mailbox); the `faults_*`
+/// block counts injected fault events.
+struct FabricStats {
+  uint64_t messages_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t messages_dropped = 0;
+  uint64_t bytes_dropped = 0;
+  uint64_t faults_dropped = 0;
+  uint64_t faults_duplicated = 0;
+  uint64_t faults_reordered = 0;
 };
 
 class Fabric {
@@ -39,8 +86,15 @@ class Fabric {
   /// Total messages and bytes that have passed through the fabric.
   uint64_t messages_sent() const { return messages_sent_.load(); }
   uint64_t bytes_sent() const { return bytes_sent_.load(); }
+  /// Messages the fabric refused (shutdown in progress / mailbox closed).
+  uint64_t messages_dropped() const { return messages_dropped_.load(); }
 
-  /// Stop the delivery thread (flushes pending messages first).
+  /// Full counter snapshot, including the fault-injection block.
+  FabricStats stats() const;
+
+  /// Stop the delivery thread promptly (does not wait for simulated
+  /// delivery deadlines) and flush still-pending messages to their
+  /// destination mailboxes so nothing already accepted is lost.
   void shutdown();
 
  private:
@@ -55,6 +109,10 @@ class Fabric {
   };
 
   void delivery_loop();
+  const FaultConfig& fault_for(int src, int dst) const;
+  /// Push to the destination mailbox, counting a refused push as dropped.
+  void deliver(Message m);
+  void count_sent(const Message& m);
 
   std::vector<Mailbox>* mailboxes_;
   FabricConfig cfg_;
@@ -62,10 +120,16 @@ class Fabric {
 
   std::atomic<uint64_t> messages_sent_{0};
   std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> messages_dropped_{0};
+  std::atomic<uint64_t> bytes_dropped_{0};
+  std::atomic<uint64_t> faults_dropped_{0};
+  std::atomic<uint64_t> faults_duplicated_{0};
+  std::atomic<uint64_t> faults_reordered_{0};
 
   std::mutex mu_;
   std::condition_variable cv_;
   std::priority_queue<Pending, std::vector<Pending>, std::greater<>> pending_;
+  Rng rng_;  // fault RNG, guarded by mu_
   uint64_t next_seq_ = 0;
   bool stopping_ = false;
   std::thread delivery_thread_;

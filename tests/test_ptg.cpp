@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "ptg/context.h"
@@ -421,6 +423,90 @@ TEST(Context, MissingOutputIsDiagnosed) {
         ctx.run();
       }),
       InvalidArgument);
+}
+
+TEST(Context, AbortPropagationUnderHighLatencyFabric) {
+  // A task fails on one rank while every activation and the abort
+  // broadcast itself crawl through a high-latency fabric. All ranks must
+  // still unwind promptly instead of hanging in their comm loops.
+  vc::FabricConfig cfg;
+  cfg.latency_us = 500.0;
+  vc::Cluster cluster(3, cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(
+      cluster.run([&](vc::RankCtx& rctx) {
+        Taskpool pool;
+        TaskClass c;
+        c.name = "hop";
+        c.rank_of = [](const Params& p) { return p[0] % 3; };
+        c.num_task_inputs = [](const Params& p) { return p[0] == 0 ? 0 : 1; };
+        c.enumerate_rank = [](int rank) {
+          std::vector<Params> out;
+          for (int i = rank; i < 12; i += 3) out.push_back(params_of(i));
+          return out;
+        };
+        c.body = [](TaskCtx& t) {
+          if (t.params()[0] == 4) throw std::runtime_error("injected");
+          t.set_output(0, make_buf(1, 1.0));
+        };
+        const auto id = pool.add_class(std::move(c));
+        pool.mutable_cls(id).route_outputs =
+            [id](const Params& p, std::vector<OutRoute>& r) {
+              if (p[0] < 11) {
+                r.push_back({TaskKey{id, params_of(p[0] + 1)}, 0, 0});
+              }
+            };
+        Context ctx(rctx, pool);
+        ctx.run();
+      }),
+      std::exception);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(20));
+}
+
+TEST(Context, WatchdogTurnsLostActivationIntoStateError) {
+  // Every cross-rank activation is dropped by the fabric, so without the
+  // watchdog both ranks would wait for activations forever. The watchdog
+  // must surface a StateError carrying a diagnostic dump instead.
+  vc::FabricConfig cfg;
+  cfg.faults.drop_prob = 1.0;
+  vc::Cluster cluster(2, cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    cluster.run([&](vc::RankCtx& rctx) {
+      Taskpool pool;
+      TaskClass c;
+      c.name = "hop";
+      c.rank_of = [](const Params& p) { return p[0] % 2; };
+      c.num_task_inputs = [](const Params& p) { return p[0] == 0 ? 0 : 1; };
+      c.enumerate_rank = [](int rank) {
+        std::vector<Params> out;
+        for (int i = rank; i < 6; i += 2) out.push_back(params_of(i));
+        return out;
+      };
+      c.body = [](TaskCtx& t) {
+        t.set_output(0, make_buf(1, static_cast<double>(t.params()[0])));
+      };
+      const auto id = pool.add_class(std::move(c));
+      pool.mutable_cls(id).route_outputs =
+          [id](const Params& p, std::vector<OutRoute>& r) {
+            if (p[0] < 5) {
+              r.push_back({TaskKey{id, params_of(p[0] + 1)}, 0, 0});
+            }
+          };
+      Options opts;
+      opts.watchdog_timeout_ms = 200.0;
+      Context ctx(rctx, pool, opts);
+      ctx.run();
+    });
+    FAIL() << "expected the watchdog to raise StateError";
+  } catch (const StateError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("PTG watchdog"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("executed="), std::string::npos) << msg;
+    EXPECT_NE(msg.find("pending_deposit_keys="), std::string::npos) << msg;
+    EXPECT_NE(msg.find("outbox_depth="), std::string::npos) << msg;
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(20));
 }
 
 TEST(Context, ZeroWorkersRejected) {

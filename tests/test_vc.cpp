@@ -174,6 +174,148 @@ TEST(Fabric, ShutdownFlushesPending) {
   EXPECT_EQ(got->tag, 77);
 }
 
+TEST(Fabric, ShutdownReturnsPromptlyAndLosesNothing) {
+  // Regression: the delivery loop used to keep sleeping until every
+  // simulated delivery deadline elapsed, so shutdown() on a 2-second-latency
+  // fabric took 2 seconds. It must be bounded by the flush, not the delays.
+  std::vector<Mailbox> boxes(2);
+  FabricConfig cfg;
+  cfg.latency_us = 2e6;  // 2 s
+  Fabric f(&boxes, cfg);
+  const int n = 25;
+  for (int i = 0; i < n; ++i) {
+    Message m;
+    m.dst = i % 2;
+    m.tag = i;
+    f.send(std::move(m));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  f.shutdown();
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 1s);
+  EXPECT_EQ(boxes[0].size() + boxes[1].size(), static_cast<size_t>(n));
+  const FabricStats s = f.stats();
+  EXPECT_EQ(s.messages_sent, static_cast<uint64_t>(n));
+  EXPECT_EQ(s.messages_dropped, 0u);
+}
+
+TEST(Fabric, SendAfterShutdownCountsDroppedNotSent) {
+  // Regression: messages refused during shutdown were still counted as
+  // sent. They must land in messages_dropped instead.
+  std::vector<Mailbox> boxes(1);
+  FabricConfig cfg;
+  cfg.latency_us = 100.0;
+  Fabric f(&boxes, cfg);
+  f.shutdown();
+  Message m;
+  m.dst = 0;
+  m.payload.assign(16, 0);
+  f.send(std::move(m));
+  const FabricStats s = f.stats();
+  EXPECT_EQ(s.messages_sent, 0u);
+  EXPECT_EQ(s.bytes_sent, 0u);
+  EXPECT_EQ(s.messages_dropped, 1u);
+  EXPECT_EQ(s.bytes_dropped, 16u);
+  EXPECT_EQ(f.messages_dropped(), 1u);
+  EXPECT_FALSE(boxes[0].try_pop().has_value());
+}
+
+TEST(Fabric, InjectedDropsCountedAndNotDelivered) {
+  std::vector<Mailbox> boxes(1);
+  FabricConfig cfg;
+  cfg.faults.drop_prob = 1.0;
+  Fabric f(&boxes, cfg);
+  for (int i = 0; i < 10; ++i) {
+    Message m;
+    m.dst = 0;
+    f.send(std::move(m));
+  }
+  EXPECT_FALSE(boxes[0].try_pop().has_value());
+  const FabricStats s = f.stats();
+  EXPECT_EQ(s.messages_sent, 10u);
+  EXPECT_EQ(s.faults_dropped, 10u);
+  EXPECT_EQ(s.messages_dropped, 0u);  // faults are not shutdown drops
+}
+
+TEST(Fabric, InjectedDuplicatesDeliverTwice) {
+  std::vector<Mailbox> boxes(1);
+  FabricConfig cfg;
+  cfg.faults.dup_prob = 1.0;
+  Fabric f(&boxes, cfg);
+  for (int i = 0; i < 5; ++i) {
+    Message m;
+    m.dst = 0;
+    m.tag = i;
+    f.send(std::move(m));
+  }
+  EXPECT_EQ(boxes[0].size(), 10u);
+  EXPECT_EQ(f.stats().faults_duplicated, 5u);
+  EXPECT_EQ(f.stats().messages_sent, 5u);
+}
+
+TEST(Fabric, FaultPatternIsSeedDeterministic) {
+  auto run_once = [](uint64_t seed) {
+    std::vector<Mailbox> boxes(1);
+    FabricConfig cfg;
+    cfg.faults.drop_prob = 0.5;
+    cfg.fault_seed = seed;
+    Fabric f(&boxes, cfg);
+    for (int i = 0; i < 100; ++i) {
+      Message m;
+      m.dst = 0;
+      m.tag = i;
+      f.send(std::move(m));
+    }
+    std::vector<int> delivered;
+    while (auto m = boxes[0].try_pop()) delivered.push_back(m->tag);
+    return delivered;
+  };
+  const auto a = run_once(42), b = run_once(42), c = run_once(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_GT(a.size(), 0u);
+  EXPECT_LT(a.size(), 100u);
+}
+
+TEST(Fabric, PerLinkFaultOverride) {
+  std::vector<Mailbox> boxes(2);
+  FabricConfig cfg;
+  cfg.link_faults[{0, 1}] = FaultConfig{/*drop_prob=*/1.0, 0.0, 0.0};
+  Fabric f(&boxes, cfg);
+  for (int dst = 0; dst < 2; ++dst) {
+    Message m;
+    m.src = 0;
+    m.dst = dst;
+    f.send(std::move(m));
+  }
+  EXPECT_TRUE(boxes[0].try_pop().has_value());   // healthy link
+  EXPECT_FALSE(boxes[1].try_pop().has_value());  // faulty link
+  EXPECT_EQ(f.stats().faults_dropped, 1u);
+}
+
+TEST(Fabric, ReorderJitterStillDeliversEverything) {
+  std::vector<Mailbox> boxes(1);
+  FabricConfig cfg;
+  cfg.faults.reorder_jitter_us = 500.0;  // jitter alone forces delayed mode
+  Fabric f(&boxes, cfg);
+  const int n = 40;
+  for (int i = 0; i < n; ++i) {
+    Message m;
+    m.dst = 0;
+    m.tag = i;
+    f.send(std::move(m));
+  }
+  std::vector<bool> seen(n, false);
+  for (int i = 0; i < n; ++i) {
+    auto m = boxes[0].pop_wait(1s);
+    ASSERT_TRUE(m.has_value());
+    ASSERT_GE(m->tag, 0);
+    ASSERT_LT(m->tag, n);
+    EXPECT_FALSE(seen[static_cast<size_t>(m->tag)]);
+    seen[static_cast<size_t>(m->tag)] = true;
+  }
+  EXPECT_GT(f.stats().faults_reordered, 0u);
+}
+
 TEST(Cluster, RunExecutesEveryRank) {
   Cluster c(4);
   std::atomic<int> mask{0};
