@@ -53,8 +53,8 @@ int main(int argc, char** argv) {
     return m;
   };
 
-  std::printf("%-10s %10s %10s %12s %12s %12s\n", "executor", "tasks",
-              "remote", "max|err|", "wall(ms)", "classes");
+  std::printf("%-10s %10s %10s %12s %12s %18s %12s\n", "executor", "tasks",
+              "remote", "max|err|", "wall(ms)", "steals/contention", "classes");
 
   // Original-style executor first.
   {
@@ -63,14 +63,19 @@ int main(int argc, char** argv) {
     opts.workers_per_rank = 2;
     WallTimer t;
     const auto res = ladder.run(tau, opts);
-    std::printf("%-10s %10s %10s %12.3e %12.2f %12s\n", "original", "-", "-",
-                max_diff(res.r_dense), t.millis(), "-");
+    std::printf("%-10s %10s %10s %12.3e %12.2f %18s %12s\n", "original", "-",
+                "-", max_diff(res.r_dense), t.millis(), "-", "-");
   }
 
-  for (const auto& variant : tce::VariantConfig::all()) {
+  // Every PTG variant under the default priority scheduler, then the best
+  // variant again under the work-stealing scheduler (reports steal counts;
+  // the contention column shows how many queue-lock acquisitions blocked).
+  auto run_ptg = [&](const char* label, const tce::VariantConfig& variant,
+                     ptg::SchedPolicy policy) {
     cc::LadderRunOptions opts;
     opts.kind = cc::ExecKind::kPtg;
     opts.variant = variant;
+    opts.policy = policy;
     opts.workers_per_rank = 2;
     opts.enable_tracing = true;
     WallTimer t;
@@ -90,12 +95,21 @@ int main(int argc, char** argv) {
     for (const auto& [name, count] : per_class) {
       classes += name + ":" + std::to_string(count) + " ";
     }
-    std::printf("%-10s %10llu %10llu %12.3e %12.2f  %s\n",
-                variant.name.c_str(),
+    char sched_col[64];
+    std::snprintf(sched_col, sizeof sched_col, "%llu/%llu",
+                  static_cast<unsigned long long>(res.sched.steals),
+                  static_cast<unsigned long long>(
+                      res.sched.contended_pushes + res.sched.contended_pops));
+    std::printf("%-10s %10llu %10llu %12.3e %12.2f %18s  %s\n", label,
                 static_cast<unsigned long long>(res.tasks_executed),
                 static_cast<unsigned long long>(res.remote_activations),
-                max_diff(res.r_dense), ms, classes.c_str());
+                max_diff(res.r_dense), ms, sched_col, classes.c_str());
+  };
+
+  for (const auto& variant : tce::VariantConfig::all()) {
+    run_ptg(variant.name.c_str(), variant, ptg::SchedPolicy::kPriority);
   }
+  run_ptg("v5+steal", tce::VariantConfig::v5(), ptg::SchedPolicy::kStealing);
 
   std::printf("\nAll max|err| values should be < 1e-12: every variant "
               "computes the identical result (paper Section IV-A, \"matched "

@@ -135,6 +135,7 @@ LadderRunResult DistributedLadder::run(const std::vector<double>& tau,
     case ExecKind::kPtg: {
       tce::PtgExecOptions popts;
       popts.variant = opts.variant;
+      popts.policy = opts.policy;
       popts.workers_per_rank = opts.workers_per_rank;
       popts.enable_tracing = opts.enable_tracing;
       cluster_->run([&](vc::RankCtx& rctx) {
@@ -143,6 +144,10 @@ LadderRunResult DistributedLadder::run(const std::vector<double>& tau,
         result.trace.append(res.trace);
         result.tasks_executed += res.tasks_executed;
         result.remote_activations += res.remote_activations;
+        result.sched.steals += res.sched.steals;
+        result.sched.steal_attempts += res.sched.steal_attempts;
+        result.sched.contended_pushes += res.sched.contended_pushes;
+        result.sched.contended_pops += res.sched.contended_pops;
         if (result.class_names.empty()) result.class_names = res.class_names;
       });
       break;

@@ -46,6 +46,7 @@ struct LadderRunOptions {
   ExecKind kind = ExecKind::kReference;
   Contraction contraction = Contraction::kT2_7;
   tce::VariantConfig variant = tce::VariantConfig::v5();  // kPtg only
+  ptg::SchedPolicy policy = ptg::SchedPolicy::kPriority;  // kPtg only
   int workers_per_rank = 2;
   bool enable_tracing = false;
 };
@@ -56,6 +57,7 @@ struct LadderRunResult {
   std::vector<std::string> class_names;
   uint64_t tasks_executed = 0;
   uint64_t remote_activations = 0;
+  ptg::SchedStats sched;        ///< summed over ranks (kPtg only)
 };
 
 class DistributedLadder {

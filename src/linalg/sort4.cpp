@@ -1,5 +1,6 @@
 #include "linalg/sort4.h"
 
+#include <algorithm>
 #include <array>
 
 #include "support/error.h"
@@ -16,12 +17,75 @@ void check_perm(const std::array<int, 4>& perm) {
   MP_REQUIRE(seen == 0xF, "sort_4: perm is not a permutation");
 }
 
+// ---- fast path 1: identity --------------------------------------------------
 template <bool kAccumulate>
-void sort4_impl(const double* unsorted, double* sorted,
-                const std::array<size_t, 4>& dims,
-                const std::array<int, 4>& perm, double factor) {
-  check_perm(perm);
+void sort4_identity(const double* __restrict in, double* __restrict out,
+                    size_t n, double factor) {
+  for (size_t i = 0; i < n; ++i) {
+    if constexpr (kAccumulate) {
+      out[i] += factor * in[i];
+    } else {
+      out[i] = factor * in[i];
+    }
+  }
+}
 
+// ---- fast path 2: transpose-like permutations -------------------------------
+// A rotation perm {s, s+1, .., 3, 0, .., s-1} is exactly a 2-D transpose of
+// the input viewed as an R x C row-major matrix with R = d0*..*d(s-1) and
+// C = ds*..*d3:  out[c*R + r] = factor * in[r*C + c]. The transpose is
+// tiled through a padded on-stack scratch tile: the block dims are usually
+// powers of two, so reading or writing at the raw row stride would land
+// every access in the same few L1 sets (2 KiB stride -> 12-way thrash);
+// staging through the scratch makes both the input pass and the output
+// pass contiguous in main memory, with the strided accesses confined to
+// the conflict-free scratch (stride padded to 33 doubles).
+constexpr size_t kTransTile = 32;
+
+template <bool kAccumulate>
+void sort4_transpose(const double* __restrict in, double* __restrict out,
+                     size_t rows, size_t cols, double factor) {
+  constexpr size_t kS = kTransTile + 1;  // pad to break power-of-2 aliasing
+  alignas(64) double tile[kTransTile * kS];
+  for (size_t r0 = 0; r0 < rows; r0 += kTransTile) {
+    const size_t r1 = std::min(rows, r0 + kTransTile);
+    for (size_t c0 = 0; c0 < cols; c0 += kTransTile) {
+      const size_t c1 = std::min(cols, c0 + kTransTile);
+      for (size_t r = r0; r < r1; ++r) {
+        const double* __restrict src = in + r * cols;
+        double* __restrict dst = tile + (r - r0) * kS;
+        for (size_t c = c0; c < c1; ++c) dst[c - c0] = factor * src[c];
+      }
+      for (size_t c = c0; c < c1; ++c) {
+        double* __restrict dst = out + c * rows;
+        const double* __restrict src = tile + (c - c0);
+        for (size_t r = r0; r < r1; ++r) {
+          if constexpr (kAccumulate) {
+            dst[r] += src[(r - r0) * kS];
+          } else {
+            dst[r] = src[(r - r0) * kS];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Returns the rotation split point s (1..3) when perm is
+/// {s, s+1, .., 3, 0, .., s-1}; 0 when perm is the identity; -1 otherwise.
+int rotation_split(const std::array<int, 4>& perm) {
+  const int s = perm[0];
+  for (int j = 1; j < 4; ++j) {
+    if (perm[j] != (s + j) % 4) return -1;
+  }
+  return s;
+}
+
+// ---- generic path -----------------------------------------------------------
+template <bool kAccumulate>
+void sort4_generic(const double* unsorted, double* sorted,
+                   const std::array<size_t, 4>& dims,
+                   const std::array<int, 4>& perm, double factor) {
   // Strides of the input axes in the input linearization.
   std::array<size_t, 4> in_stride;
   in_stride[3] = 1;
@@ -65,6 +129,27 @@ void sort4_impl(const double* unsorted, double* sorted,
   }
 }
 
+template <bool kAccumulate>
+void sort4_impl(const double* unsorted, double* sorted,
+                const std::array<size_t, 4>& dims,
+                const std::array<int, 4>& perm, double factor) {
+  check_perm(perm);
+
+  const int s = rotation_split(perm);
+  if (s == 0) {
+    sort4_identity<kAccumulate>(unsorted, sorted, sort4_elems(dims), factor);
+    return;
+  }
+  if (s > 0) {
+    size_t rows = 1, cols = 1;
+    for (int j = 0; j < s; ++j) rows *= dims[static_cast<size_t>(j)];
+    for (int j = s; j < 4; ++j) cols *= dims[static_cast<size_t>(j)];
+    sort4_transpose<kAccumulate>(unsorted, sorted, rows, cols, factor);
+    return;
+  }
+  sort4_generic<kAccumulate>(unsorted, sorted, dims, perm, factor);
+}
+
 }  // namespace
 
 void sort_4(const double* unsorted, double* sorted,
@@ -77,6 +162,24 @@ void sort_4_acc(const double* unsorted, double* sorted,
                 const std::array<size_t, 4>& dims,
                 const std::array<int, 4>& perm, double factor) {
   sort4_impl<true>(unsorted, sorted, dims, perm, factor);
+}
+
+bool sort4_is_fast_path(const std::array<int, 4>& perm) {
+  return rotation_split(perm) >= 0;
+}
+
+void sort_4_reference(const double* unsorted, double* sorted,
+                      const std::array<size_t, 4>& dims,
+                      const std::array<int, 4>& perm, double factor) {
+  check_perm(perm);
+  sort4_generic<false>(unsorted, sorted, dims, perm, factor);
+}
+
+void sort_4_acc_reference(const double* unsorted, double* sorted,
+                          const std::array<size_t, 4>& dims,
+                          const std::array<int, 4>& perm, double factor) {
+  check_perm(perm);
+  sort4_generic<true>(unsorted, sorted, dims, perm, factor);
 }
 
 }  // namespace mp::linalg

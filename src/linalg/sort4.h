@@ -33,4 +33,19 @@ inline size_t sort4_elems(const std::array<size_t, 4>& dims) {
   return dims[0] * dims[1] * dims[2] * dims[3];
 }
 
+/// True when `perm` takes one of the specialized fast paths (the identity
+/// or a transpose-like rotation such as {2,3,0,1}); exposed so tests and
+/// benchmarks can target both code paths explicitly.
+bool sort4_is_fast_path(const std::array<int, 4>& perm);
+
+/// Always-generic implementations, bypassing the fast-path dispatch. The
+/// fast paths must agree with these bit-for-bit (each output element is the
+/// same single `factor * in` product either way); tests enforce it.
+void sort_4_reference(const double* unsorted, double* sorted,
+                      const std::array<size_t, 4>& dims,
+                      const std::array<int, 4>& perm, double factor);
+void sort_4_acc_reference(const double* unsorted, double* sorted,
+                          const std::array<size_t, 4>& dims,
+                          const std::array<int, 4>& perm, double factor);
+
 }  // namespace mp::linalg

@@ -54,18 +54,24 @@ void Context::wake_all() {
   wake_cv_.notify_all();
 }
 
-void Context::make_ready(const TaskKey& key, std::vector<DataBuf> inputs,
-                         int worker_hint) {
+ReadyTask Context::build_task(const TaskKey& key,
+                              std::vector<DataBuf> inputs) {
   ReadyTask t;
   t.key = key;
   t.inputs = std::move(inputs);
   t.seq = seq_.fetch_add(1, std::memory_order_relaxed);
   t.priority = effective_priority(pool_.cls(key.cls), key.p);
-  sched_->push(std::move(t), worker_hint);
+  return t;
+}
+
+void Context::make_ready(const TaskKey& key, std::vector<DataBuf> inputs,
+                         int worker_hint) {
+  sched_->push(build_task(key, std::move(inputs)), worker_hint);
   wake_one();
 }
 
-void Context::deposit(const TaskKey& key, int slot, DataBuf buf) {
+void Context::deposit(const TaskKey& key, int slot, DataBuf buf,
+                      std::vector<ReadyTask>* batch) {
   MP_REQUIRE(slot >= 0 && slot < 128, "deposit: bad input slot");
   Shard& shard = shards_[TaskKeyHash{}(key) % kShards];
   std::vector<DataBuf> ready_inputs;
@@ -89,7 +95,11 @@ void Context::deposit(const TaskKey& key, int slot, DataBuf buf) {
     ready_inputs = std::move(e.inputs);
     shard.map.erase(key);
   }
-  make_ready(key, std::move(ready_inputs), /*worker_hint=*/-1);
+  if (batch) {
+    batch->push_back(build_task(key, std::move(ready_inputs)));
+  } else {
+    make_ready(key, std::move(ready_inputs), /*worker_hint=*/-1);
+  }
 }
 
 void Context::execute_task(ReadyTask t, int wid) {
@@ -103,8 +113,11 @@ void Context::execute_task(ReadyTask t, int wid) {
         TraceEvent{rank(), wid, t.key.cls, t.key.p, t0, now(), false});
   }
 
-  // Route outputs to consumers.
+  // Route outputs to consumers. Locally-completed activations are gathered
+  // into one batch and published with a single push_batch onto this
+  // worker's own deque (one size/notify round trip for all siblings).
   if (c.route_outputs) {
+    std::vector<ReadyTask> batch;
     std::vector<OutRoute> routes;
     c.route_outputs(t.key.p, routes);
     for (const OutRoute& r : routes) {
@@ -116,7 +129,7 @@ void Context::execute_task(ReadyTask t, int wid) {
       const DataBuf& buf = tctx.outputs()[static_cast<size_t>(r.out_slot)];
       const int dst = cc.rank_of(r.consumer.p);
       if (dst == rank()) {
-        deposit(r.consumer, r.in_slot, buf);
+        deposit(r.consumer, r.in_slot, buf, &batch);
       } else {
         vc::WireWriter w;
         w.put<int16_t>(r.consumer.cls);
@@ -133,6 +146,17 @@ void Context::execute_task(ReadyTask t, int wid) {
           outbox_.push_back(std::move(m));
         }
         remote_sent_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (!batch.empty()) {
+      const size_t n = batch.size();
+      sched_->push_batch(std::move(batch), wid);
+      // This worker keeps one task for itself (it pops its own bottom
+      // next); any extra siblings are worth waking peers for.
+      if (n > 1) {
+        wake_all();
+      } else {
+        wake_one();
       }
     }
   }

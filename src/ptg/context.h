@@ -65,6 +65,7 @@ class Context {
   uint64_t expected_tasks() const { return expected_; }
   uint64_t remote_activations_sent() const { return remote_sent_.load(); }
   uint64_t scheduler_steals() const { return sched_->steals(); }
+  SchedStats scheduler_stats() const { return sched_->stats(); }
 
   /// Post-run trace of this rank (empty unless enable_tracing).
   const Trace& trace() const { return trace_; }
@@ -93,7 +94,13 @@ class Context {
   /// Diagnostic snapshot for the watchdog's StateError (executed/expected
   /// counts, pending-deposit map sizes, queue depths).
   std::string watchdog_dump();
-  void deposit(const TaskKey& key, int slot, DataBuf buf);
+  /// Deliver one input to a task instance. When the arrival completes the
+  /// instance and `batch` is non-null, the ReadyTask is appended there for
+  /// the caller to publish in one push_batch (a worker routing outputs);
+  /// otherwise it is pushed immediately with hint -1 (comm thread).
+  void deposit(const TaskKey& key, int slot, DataBuf buf,
+               std::vector<ReadyTask>* batch = nullptr);
+  ReadyTask build_task(const TaskKey& key, std::vector<DataBuf> inputs);
   void make_ready(const TaskKey& key, std::vector<DataBuf> inputs,
                   int worker_hint);
   void execute_task(ReadyTask t, int wid);

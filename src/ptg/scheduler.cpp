@@ -1,5 +1,6 @@
 #include "ptg/scheduler.h"
 
+#include <array>
 #include <atomic>
 #include <mutex>
 #include <queue>
@@ -43,90 +44,242 @@ ReadyTask pop_top(Queue& q) {
   return t;
 }
 
+/// Locks `mu`, counting acquisitions that had to block in `contended`.
+std::unique_lock<std::mutex> counted_lock(std::mutex& mu,
+                                          std::atomic<uint64_t>& contended) {
+  std::unique_lock lock(mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    contended.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  return lock;
+}
+
 class CentralScheduler final : public Scheduler {
  public:
   explicit CentralScheduler(Cmp cmp) : queue_(cmp) {}
 
   void push(ReadyTask t, int /*worker*/) override {
-    std::lock_guard lock(mu_);
+    auto lock = counted_lock(mu_, contended_pushes_);
     queue_.push(std::move(t));
+    size_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void push_batch(std::vector<ReadyTask>&& ts, int /*worker*/) override {
+    if (ts.empty()) return;
+    auto lock = counted_lock(mu_, contended_pushes_);
+    for (auto& t : ts) queue_.push(std::move(t));
+    size_.fetch_add(ts.size(), std::memory_order_relaxed);
+    ts.clear();
   }
 
   bool try_pop(ReadyTask& out, int /*worker*/) override {
-    std::lock_guard lock(mu_);
+    // The counter gives a lock-free empty fast path for idle polling.
+    if (size_.load(std::memory_order_acquire) == 0) return false;
+    auto lock = counted_lock(mu_, contended_pops_);
     if (queue_.empty()) return false;
     out = pop_top(queue_);
+    size_.fetch_sub(1, std::memory_order_relaxed);
     return true;
   }
 
   size_t size() const override {
-    std::lock_guard lock(mu_);
-    return queue_.size();
+    return size_.load(std::memory_order_acquire);
+  }
+
+  SchedStats stats() const override {
+    SchedStats s;
+    s.contended_pushes = contended_pushes_.load(std::memory_order_relaxed);
+    s.contended_pops = contended_pops_.load(std::memory_order_relaxed);
+    return s;
   }
 
  private:
   mutable std::mutex mu_;
   Queue queue_;
+  std::atomic<size_t> size_{0};
+  std::atomic<uint64_t> contended_pushes_{0};
+  std::atomic<uint64_t> contended_pops_{0};
+};
+
+/// A bounded Chase-Lev work-stealing deque of ReadyTask* (Le et al.,
+/// "Correct and Efficient Work-Stealing for Weak Memory Models", PPoPP'13,
+/// minus the dynamic resize: overflow spills to the shared injection
+/// queue). The owner pushes/pops `bottom` without locks; thieves CAS `top`.
+class ChaseLevDeque {
+ public:
+  static constexpr size_t kCap = 4096;  // power of two
+  static constexpr size_t kMask = kCap - 1;
+
+  /// Owner only. False when full (caller reroutes to the overflow queue).
+  bool push_bottom(ReadyTask* t) {
+    const int64_t b = bottom_.load(std::memory_order_relaxed);
+    const int64_t tp = top_.load(std::memory_order_acquire);
+    if (b - tp >= static_cast<int64_t>(kCap)) return false;
+    slots_[static_cast<size_t>(b) & kMask].store(t,
+                                                 std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Owner only. LIFO end; nullptr when empty (or lost the final-element
+  /// race to a thief).
+  ReadyTask* pop_bottom() {
+    const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    int64_t tp = top_.load(std::memory_order_relaxed);
+    ReadyTask* res = nullptr;
+    if (tp <= b) {
+      res = slots_[static_cast<size_t>(b) & kMask].load(
+          std::memory_order_relaxed);
+      if (tp == b) {
+        // Last element: race the thieves for it.
+        if (!top_.compare_exchange_strong(tp, tp + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          res = nullptr;
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return res;
+  }
+
+  /// Any thread. FIFO end; nullptr when empty or when the CAS race was
+  /// lost (the caller just moves on to the next victim). A slot value read
+  /// here can only have been overwritten by the owner after `top` moved,
+  /// which makes the CAS fail, so a stale task is never returned.
+  ReadyTask* steal_top() {
+    int64_t tp = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const int64_t b = bottom_.load(std::memory_order_acquire);
+    if (tp >= b) return nullptr;
+    ReadyTask* t =
+        slots_[static_cast<size_t>(tp) & kMask].load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(tp, tp + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return t;
+  }
+
+ private:
+  std::atomic<int64_t> top_{0};
+  std::atomic<int64_t> bottom_{0};
+  std::array<std::atomic<ReadyTask*>, kCap> slots_{};
 };
 
 class StealingScheduler final : public Scheduler {
  public:
   explicit StealingScheduler(int num_workers)
-      : shards_(static_cast<size_t>(num_workers)) {
+      : deques_(static_cast<size_t>(num_workers)),
+        injection_(Cmp{false, true}) {
     MP_REQUIRE(num_workers >= 1, "StealingScheduler: need >= 1 worker");
-    for (auto& s : shards_) s = std::make_unique<Shard>();
+    for (auto& d : deques_) d = std::make_unique<ChaseLevDeque>();
+  }
+
+  ~StealingScheduler() override {
+    // Single-threaded by the time the scheduler dies; reclaim stragglers.
+    for (auto& d : deques_) {
+      while (ReadyTask* t = d->pop_bottom()) delete t;
+    }
   }
 
   void push(ReadyTask t, int worker) override {
-    const size_t home =
-        worker >= 0 ? static_cast<size_t>(worker) % shards_.size()
-                    : next_.fetch_add(1, std::memory_order_relaxed) %
-                          shards_.size();
-    std::lock_guard lock(shards_[home]->mu);
-    shards_[home]->queue.push(std::move(t));
+    push_one(std::move(t), worker);
+    size_.fetch_add(1, std::memory_order_release);
+  }
+
+  void push_batch(std::vector<ReadyTask>&& ts, int worker) override {
+    if (ts.empty()) return;
+    for (auto& t : ts) push_one(std::move(t), worker);
+    size_.fetch_add(ts.size(), std::memory_order_release);
+    ts.clear();
   }
 
   bool try_pop(ReadyTask& out, int worker) override {
-    const size_t n = shards_.size();
-    const size_t me = worker >= 0 ? static_cast<size_t>(worker) % n : 0;
+    if (size_.load(std::memory_order_acquire) == 0) return false;
+    const size_t n = deques_.size();
+    const size_t me =
+        worker >= 0 ? static_cast<size_t>(worker) % n : 0;
+
+    // 1. Own bottom (lock-free LIFO: the task this worker just spawned).
+    if (worker >= 0) {
+      if (ReadyTask* t = deques_[me]->pop_bottom()) return take(t, out);
+    }
+
+    // 2. The shared injection queue (priority-ordered startup/comm tasks).
     {
-      std::lock_guard lock(shards_[me]->mu);
-      if (!shards_[me]->queue.empty()) {
-        out = pop_top(shards_[me]->queue);
+      auto lock = counted_lock(inj_mu_, contended_pops_);
+      if (!injection_.empty()) {
+        out = pop_top(injection_);
+        size_.fetch_sub(1, std::memory_order_relaxed);
         return true;
       }
     }
+
+    // 3. Steal the top (oldest task) of another worker's deque.
     for (size_t i = 1; i < n; ++i) {
       const size_t victim = (me + i) % n;
-      std::lock_guard lock(shards_[victim]->mu);
-      if (!shards_[victim]->queue.empty()) {
-        out = pop_top(shards_[victim]->queue);
+      steal_attempts_.fetch_add(1, std::memory_order_relaxed);
+      if (ReadyTask* t = deques_[victim]->steal_top()) {
         steals_.fetch_add(1, std::memory_order_relaxed);
-        return true;
+        return take(t, out);
       }
     }
     return false;
   }
 
   size_t size() const override {
-    size_t total = 0;
-    for (const auto& s : shards_) {
-      std::lock_guard lock(s->mu);
-      total += s->queue.size();
-    }
-    return total;
+    return size_.load(std::memory_order_acquire);
   }
 
-  uint64_t steals() const override { return steals_.load(); }
+  uint64_t steals() const override {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+  SchedStats stats() const override {
+    SchedStats s;
+    s.steals = steals_.load(std::memory_order_relaxed);
+    s.steal_attempts = steal_attempts_.load(std::memory_order_relaxed);
+    s.contended_pushes = contended_pushes_.load(std::memory_order_relaxed);
+    s.contended_pops = contended_pops_.load(std::memory_order_relaxed);
+    return s;
+  }
 
  private:
-  struct Shard {
-    mutable std::mutex mu;
-    Queue queue{Cmp{false, true}};
-  };
-  std::vector<std::unique_ptr<Shard>> shards_;
-  std::atomic<size_t> next_{0};
+  void push_one(ReadyTask&& t, int worker) {
+    if (worker >= 0) {
+      const size_t me = static_cast<size_t>(worker) % deques_.size();
+      auto* owned = new ReadyTask(std::move(t));
+      if (deques_[me]->push_bottom(owned)) return;
+      // Deque full: spill to the injection queue.
+      t = std::move(*owned);
+      delete owned;
+    }
+    auto lock = counted_lock(inj_mu_, contended_pushes_);
+    injection_.push(std::move(t));
+  }
+
+  bool take(ReadyTask* t, ReadyTask& out) {
+    out = std::move(*t);
+    delete t;
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  std::vector<std::unique_ptr<ChaseLevDeque>> deques_;
+  mutable std::mutex inj_mu_;
+  Queue injection_;
+  std::atomic<size_t> size_{0};
   std::atomic<uint64_t> steals_{0};
+  std::atomic<uint64_t> steal_attempts_{0};
+  std::atomic<uint64_t> contended_pushes_{0};
+  std::atomic<uint64_t> contended_pops_{0};
 };
 
 }  // namespace

@@ -6,8 +6,15 @@
 //               exactly the paper's v2 behaviour.
 //   kFifo     — insertion order, priorities ignored.
 //   kLifo     — newest first (cache-friendly depth-first execution).
-//   kStealing — per-worker priority queues with work stealing, modelling
-//               PaRSEC's intra-node dynamic load balancing explicitly.
+//   kStealing — per-worker lock-free Chase-Lev deques with work stealing,
+//               modelling PaRSEC's intra-node dynamic load balancing. The
+//               owning worker pushes and pops its own bottom without locks;
+//               thieves race on the top end with a single CAS. Tasks pushed
+//               by non-worker threads (comm thread, startup enumeration)
+//               land in a shared priority "injection" queue that workers
+//               drain before stealing, so the paper's priority-driven
+//               startup pipelining is preserved; tasks spawned by a worker
+//               run LIFO on that worker (cache-hot chain successors).
 #pragma once
 
 #include <cstdint>
@@ -29,22 +36,47 @@ enum class SchedPolicy { kPriority, kFifo, kLifo, kStealing };
 
 const char* to_string(SchedPolicy p);
 
+/// Contention/steal counters, cheap relaxed atomics kept on the hot paths.
+/// `contended_*` counts mutex acquisitions that had to wait (try_lock
+/// failed first); for kStealing these only arise on the shared injection
+/// queue, so the delta against the central scheduler is the design's win.
+struct SchedStats {
+  uint64_t steals = 0;          ///< tasks taken from another worker's deque
+  uint64_t steal_attempts = 0;  ///< top-end probes (incl. failed CAS races)
+  uint64_t contended_pushes = 0;
+  uint64_t contended_pops = 0;
+};
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
 
   /// Enqueue a ready task. `worker` is the id of the pushing worker, or -1
-  /// when pushed by the comm thread / startup enumeration.
+  /// when pushed by the comm thread / startup enumeration. For kStealing,
+  /// a push with worker >= 0 MUST be issued from that worker's own thread
+  /// (the deque bottom is single-owner); any thread may push with -1.
   virtual void push(ReadyTask t, int worker) = 0;
+
+  /// Enqueue several sibling activations at once (a completed task waking
+  /// its successors). One size/notify round trip instead of len(ts).
+  virtual void push_batch(std::vector<ReadyTask>&& ts, int worker) {
+    for (auto& t : ts) push(std::move(t), worker);
+    ts.clear();
+  }
 
   /// Dequeue the best task for `worker`; false if none available anywhere.
   virtual bool try_pop(ReadyTask& out, int worker) = 0;
 
-  /// Approximate number of queued tasks (for stats/tests).
+  /// Approximate number of queued tasks, O(1): a relaxed atomic counter
+  /// maintained on push/pop, never a sweep over shard locks. Exact once
+  /// the queues are quiescent.
   virtual size_t size() const = 0;
 
   /// Number of successful steals (kStealing only; 0 otherwise).
   virtual uint64_t steals() const { return 0; }
+
+  /// Snapshot of the contention counters.
+  virtual SchedStats stats() const { return {}; }
 
   static std::unique_ptr<Scheduler> create(SchedPolicy policy,
                                            int num_workers);

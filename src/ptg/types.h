@@ -54,6 +54,58 @@ inline DataBuf make_buf(size_t n, double fill = 0.0) {
   return std::make_shared<std::vector<double>>(n, fill);
 }
 
+namespace pool_detail {
+
+/// Tracks whether this thread's BufPool is still alive. Kept at namespace
+/// scope and trivially destructible so a buffer deleter running during
+/// thread teardown (after the pool's own destructor) sees `false` and
+/// falls back to plain delete instead of touching a dead pool.
+inline thread_local bool tls_pool_alive = false;
+
+struct BufPool {
+  static constexpr size_t kMaxCached = 64;
+  std::vector<std::vector<double>*> free;
+  BufPool() { tls_pool_alive = true; }
+  ~BufPool() {
+    tls_pool_alive = false;
+    for (auto* v : free) delete v;
+  }
+};
+
+inline BufPool& tls_pool() {
+  static thread_local BufPool pool;
+  return pool;
+}
+
+}  // namespace pool_detail
+
+/// Like make_buf, but recycles the underlying vector through a thread-local
+/// free list: a task-grain allocation pattern (every READ/GEMM/SORT body
+/// makes one buffer per task) reaches a steady state with no heap traffic.
+/// The buffer may be released on a different thread than it was acquired
+/// on; it simply joins the releasing thread's pool.
+inline DataBuf make_buf_pooled(size_t n, double fill = 0.0) {
+  auto& pool = pool_detail::tls_pool();
+  std::vector<double>* v;
+  if (!pool.free.empty()) {
+    v = pool.free.back();
+    pool.free.pop_back();
+    v->assign(n, fill);
+  } else {
+    v = new std::vector<double>(n, fill);
+  }
+  return DataBuf(v, [](std::vector<double>* p) {
+    if (pool_detail::tls_pool_alive) {
+      auto& pool = pool_detail::tls_pool();
+      if (pool.free.size() < pool_detail::BufPool::kMaxCached) {
+        pool.free.push_back(p);
+        return;
+      }
+    }
+    delete p;
+  });
+}
+
 /// One routed output edge: after the producer runs, its output buffer in
 /// slot `out_slot` is deposited into `consumer`'s input slot `in_slot`.
 struct OutRoute {

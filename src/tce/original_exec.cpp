@@ -8,6 +8,7 @@
 #include "ga/hash_block.h"
 #include "linalg/gemm.h"
 #include "linalg/sort4.h"
+#include "support/aligned_buf.h"
 #include "support/error.h"
 
 namespace mp::tce {
@@ -36,37 +37,42 @@ void process_chain(const Chain& chain, const StoreList& stores,
   const TensorStore& sb = stores[static_cast<size_t>(chain.b_store)];
   const TensorStore& sr = stores[static_cast<size_t>(chain.r_store)];
 
-  std::vector<double> a, b, c, sorted;
-  c.assign(static_cast<size_t>(chain.c_elems()), 0.0);
+  // Per-worker staging buffers from the thread-local workspace pool: the
+  // chain loop reaches a steady state with no per-chain heap traffic.
+  auto& ws = support::WorkspacePool::tls();
+  const size_t c_elems = static_cast<size_t>(chain.c_elems());
+  double* c = ws.get(support::WorkspacePool::kExecC, c_elems);
+  linalg::dfill(c_elems, 0.0, c);
 
   for (const GemmOp& g : chain.gemms) {
     // Blocking GET_HASH_BLOCK immediately before the GEMM: by construction
     // there is no compute to overlap it with (paper Section V, Fig. 13).
     double t0 = opts.enable_tracing ? since(epoch) : 0.0;
-    a.resize(static_cast<size_t>(g.m) * g.k);
-    b.resize(static_cast<size_t>(g.n) * g.k);
-    ga::get_hash_block(*sa.ga, sa.shape->index(), g.a_key, a.data());
-    ga::get_hash_block(*sb.ga, sb.shape->index(), g.b_key, b.data());
+    double* a = ws.get(support::WorkspacePool::kExecA,
+                       static_cast<size_t>(g.m) * g.k);
+    double* b = ws.get(support::WorkspacePool::kExecB,
+                       static_cast<size_t>(g.n) * g.k);
+    ga::get_hash_block(*sa.ga, sa.shape->index(), g.a_key, a);
+    ga::get_hash_block(*sb.ga, sb.shape->index(), g.b_key, b);
     record(kOrigGet, g.l2, t0, true);
 
     t0 = opts.enable_tracing ? since(epoch) : 0.0;
     linalg::dgemm(g.transa, g.transb, static_cast<size_t>(g.m),
                   static_cast<size_t>(g.n), static_cast<size_t>(g.k), g.alpha,
-                  a.data(), static_cast<size_t>(g.lda()), b.data(),
-                  static_cast<size_t>(g.ldb()), 1.0, c.data(),
+                  a, static_cast<size_t>(g.lda()), b,
+                  static_cast<size_t>(g.ldb()), 1.0, c,
                   static_cast<size_t>(g.m));
     record(kOrigGemm, g.l2, t0, false);
   }
 
-  sorted.resize(c.size());
+  double* sorted = ws.get(support::WorkspacePool::kExecSorted, c_elems);
   for (const SortOp& so : chain.sorts) {
     double t0 = opts.enable_tracing ? since(epoch) : 0.0;
-    linalg::sort_4(c.data(), sorted.data(), chain.c_dims, so.perm, so.factor);
+    linalg::sort_4(c, sorted, chain.c_dims, so.perm, so.factor);
     record(kOrigSort, so.guard_id, t0, false);
 
     t0 = opts.enable_tracing ? since(epoch) : 0.0;
-    ga::add_hash_block(*sr.ga, sr.shape->index(), chain.c_key,
-                       sorted.data());
+    ga::add_hash_block(*sr.ga, sr.shape->index(), chain.c_key, sorted);
     record(kOrigAdd, so.guard_id, t0, true);
   }
 }

@@ -89,7 +89,7 @@ PtgExecResult execute_ptg(vc::RankCtx& rctx, const ChainPlan& plan,
           (*st)[static_cast<size_t>(is_a ? ch.a_store : ch.b_store)];
       const size_t elems = is_a ? static_cast<size_t>(g.m) * g.k
                                 : static_cast<size_t>(g.n) * g.k;
-      auto buf = ptg::make_buf(elems);
+      auto buf = ptg::make_buf_pooled(elems);
       ga::get_hash_block(*ts.ga, ts.shape->index(),
                          is_a ? g.a_key : g.b_key, buf->data());
       t.set_output(0, std::move(buf));
@@ -117,7 +117,7 @@ PtgExecResult execute_ptg(vc::RankCtx& rctx, const ChainPlan& plan,
     };
     c.body = [pl](TaskCtx& t) {
       const Chain& ch = pl->chains[static_cast<size_t>(t.params()[0])];
-      t.set_output(0, ptg::make_buf(static_cast<size_t>(ch.c_elems())));
+      t.set_output(0, ptg::make_buf_pooled(static_cast<size_t>(ch.c_elems())));
     };
     dfill_id = pool.add_class(std::move(c));
   }
@@ -147,7 +147,7 @@ PtgExecResult execute_ptg(vc::RankCtx& rctx, const ChainPlan& plan,
       const DataBuf& a = t.input(0);
       const DataBuf& b = t.input(1);
       DataBuf cbuf = parallel
-                         ? ptg::make_buf(static_cast<size_t>(ch.c_elems()))
+                         ? ptg::make_buf_pooled(static_cast<size_t>(ch.c_elems()))
                          : t.take_input(2);
       linalg::dgemm(g.transa, g.transb, static_cast<size_t>(g.m),
                     static_cast<size_t>(g.n), static_cast<size_t>(g.k),
@@ -213,7 +213,7 @@ PtgExecResult execute_ptg(vc::RankCtx& rctx, const ChainPlan& plan,
     c.body = [pl, psorts](TaskCtx& t) {
       const Chain& ch = pl->chains[static_cast<size_t>(t.params()[0])];
       const DataBuf& cin = t.input(0);
-      auto out = ptg::make_buf(cin->size());
+      auto out = ptg::make_buf_pooled(cin->size());
       if (psorts) {
         const SortOp& so = ch.sorts[static_cast<size_t>(t.params()[1])];
         linalg::sort_4(cin->data(), out->data(), ch.c_dims, so.perm,
@@ -392,6 +392,7 @@ PtgExecResult execute_ptg(vc::RankCtx& rctx, const ChainPlan& plan,
   res.tasks_executed = ctx.tasks_executed();
   res.expected_tasks = ctx.expected_tasks();
   res.remote_activations = ctx.remote_activations_sent();
+  res.sched = ctx.scheduler_stats();
   for (size_t i = 0; i < pool.num_classes(); ++i) {
     res.class_names.push_back(pool.cls(static_cast<int16_t>(i)).name);
   }

@@ -46,6 +46,7 @@ struct PtgExecResult {
   uint64_t tasks_executed = 0;
   uint64_t expected_tasks = 0;
   uint64_t remote_activations = 0;
+  ptg::SchedStats sched;                ///< steal/contention counters
 };
 
 /// Execute the plan over the PTG runtime. Collective across ranks. Works

@@ -12,6 +12,7 @@
 #include "linalg/gemm.h"
 #include "linalg/matrix.h"
 #include "linalg/sort4.h"
+#include "support/aligned_buf.h"
 #include "support/rng.h"
 
 namespace mp::linalg {
@@ -269,6 +270,107 @@ TEST(Sort4, PreservesSumUnderPermutation) {
   const double s_in = std::accumulate(in.begin(), in.end(), 0.0);
   const double s_out = std::accumulate(out.begin(), out.end(), 0.0);
   EXPECT_NEAR(s_in, s_out, 1e-12);
+}
+
+// Every perm, both flavours, must agree bit-for-bit with the generic
+// reference path — the rotation fast paths reorder only the iteration, not
+// the arithmetic (one multiply per element), so exact equality is required.
+TEST_P(Sort4AllPerms, FastPathsMatchReferenceBitForBit) {
+  const Perm perm = all_perms()[static_cast<size_t>(GetParam())];
+  // Mixed dims so rows/cols of the rotation transposes exercise tile edges.
+  const Dims d{5, 8, 3, 33};
+  const auto in = random_vec(sort4_elems(d), 77);
+  const auto seed = random_vec(sort4_elems(d), 78);
+
+  std::vector<double> got(in.size()), want(in.size());
+  sort_4(in.data(), got.data(), d, perm, -1.75);
+  sort_4_reference(in.data(), want.data(), d, perm, -1.75);
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << "plain flavour at " << i;
+  }
+
+  got = seed;
+  want = seed;
+  sort_4_acc(in.data(), got.data(), d, perm, 0.375);
+  sort_4_acc_reference(in.data(), want.data(), d, perm, 0.375);
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << "accumulate flavour at " << i;
+  }
+}
+
+TEST(Sort4, FastPathPredicateCoversExactlyTheRotations) {
+  int fast = 0;
+  for (const Perm& p : all_perms()) fast += sort4_is_fast_path(p) ? 1 : 0;
+  EXPECT_EQ(fast, 4);  // identity + the three rotations
+  EXPECT_TRUE(sort4_is_fast_path({0, 1, 2, 3}));
+  EXPECT_TRUE(sort4_is_fast_path({1, 2, 3, 0}));
+  EXPECT_TRUE(sort4_is_fast_path({2, 3, 0, 1}));
+  EXPECT_TRUE(sort4_is_fast_path({3, 0, 1, 2}));
+  EXPECT_FALSE(sort4_is_fast_path({1, 0, 3, 2}));
+}
+
+// ---- exhaustive GEMM sweep --------------------------------------------------
+
+// All transpose combos x odd/prime sizes x alpha/beta grid against the
+// naive reference: catches packing edge cases (partial register tiles,
+// kb < kKc) and the beta=0 / beta=1 store fast paths.
+TEST(Gemm, ExhaustiveShapeAndScalarSweep) {
+  const size_t sizes[] = {1, 3, 7, 17, 63, 65};
+  const double scalars[] = {0.0, 1.0, -0.5};
+  const char flags[] = {'N', 'T'};
+  for (char ta : flags) {
+    for (char tb : flags) {
+      for (size_t m : sizes) {
+        for (size_t n : sizes) {
+          for (size_t k : sizes) {
+            const size_t lda = (ta == 'T') ? k : m;
+            const size_t ldb = (tb == 'T') ? n : k;
+            const auto a = random_vec(lda * ((ta == 'T') ? m : k),
+                                      1000 + m * 7 + n * 3 + k);
+            const auto b = random_vec(ldb * ((tb == 'T') ? k : n),
+                                      2000 + m + n * 5 + k * 11);
+            const auto c0 = random_vec(m * n, 3000 + m + n + k);
+            for (double alpha : scalars) {
+              for (double beta : scalars) {
+                std::vector<double> c1 = c0, c2 = c0;
+                dgemm(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb,
+                      beta, c1.data(), m);
+                ref_gemm(ta == 'T', tb == 'T', m, n, k, alpha, a.data(), lda,
+                         b.data(), ldb, beta, c2.data(), m);
+                for (size_t i = 0; i < c1.size(); ++i) {
+                  ASSERT_NEAR(c1[i], c2[i], 1e-11)
+                      << ta << tb << " m=" << m << " n=" << n << " k=" << k
+                      << " alpha=" << alpha << " beta=" << beta << " at "
+                      << i;
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// The packing workspaces come from the thread-local pool: after warm-up, a
+// long GEMM loop must perform no heap allocations at all (the regression
+// this guards against is a per-call pack-buffer malloc on the hot path).
+TEST(Gemm, ZeroSteadyStateAllocations) {
+  const size_t n = 96;
+  const auto a = random_vec(n * n, 11);
+  const auto b = random_vec(n * n, 12);
+  std::vector<double> c(n * n, 0.0);
+  // Warm-up sizes the pool slots for this shape.
+  dgemm('N', 'N', n, n, n, 1.0, a.data(), n, b.data(), n, 0.0, c.data(), n);
+  dgemm('T', 'T', n, n, n, 1.0, a.data(), n, b.data(), n, 0.0, c.data(), n);
+
+  const uint64_t before = support::WorkspacePool::allocation_count();
+  for (int iter = 0; iter < 1000; ++iter) {
+    dgemm('N', 'N', n, n, n, 1.0, a.data(), n, b.data(), n, 1.0, c.data(),
+          n);
+  }
+  EXPECT_EQ(support::WorkspacePool::allocation_count(), before)
+      << "dgemm allocated on the steady-state hot path";
 }
 
 }  // namespace

@@ -7,8 +7,10 @@
 //  * execution over a fabric with injected latency and bandwidth limits.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <mutex>
+#include <thread>
 
 #include "ptg/context.h"
 #include "support/rng.h"
@@ -299,6 +301,62 @@ TEST(SlowFabric, ChainSurvivesLatencyAndBandwidthLimits) {
     ctx.run();
   });
   for (double v : finals) EXPECT_DOUBLE_EQ(v, 7.0);  // 1.0 + 6 increments
+}
+
+// size() is a relaxed atomic counter, safe to read from any thread with no
+// locks. Hammer it from a dedicated reader while workers push/pop/steal,
+// under every policy — TSan (the stress job) proves the absence of races,
+// and the bounds check proves the counter never drifts outside [0, pushed].
+TEST(SchedulerConcurrency, SizeIsLockFreeUnderConcurrentPushPop) {
+  for (auto policy : {SchedPolicy::kPriority, SchedPolicy::kFifo,
+                      SchedPolicy::kLifo, SchedPolicy::kStealing}) {
+    SCOPED_TRACE(to_string(policy));
+    constexpr int kWorkers = 3;
+    constexpr int kPerWorker = 4000;
+    auto sched = Scheduler::create(policy, kWorkers);
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> popped{0};
+    std::thread reader([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const size_t s = sched->size();
+        ASSERT_LE(s, static_cast<size_t>(kWorkers) * kPerWorker);
+      }
+    });
+
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kWorkers; ++w) {
+      workers.emplace_back([&, w] {
+        ReadyTask t;
+        for (int i = 0; i < kPerWorker; ++i) {
+          t.priority = i & 15;
+          t.seq = static_cast<uint64_t>(w * kPerWorker + i);
+          t.key = TaskKey{0, params_of(w, i)};
+          sched->push(t, w);
+          ReadyTask out;
+          if ((i & 3) == 0 && sched->try_pop(out, w)) {
+            popped.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        // Drain whatever is left, cooperatively with the other workers.
+        ReadyTask out;
+        while (sched->try_pop(out, w)) {
+          popped.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& th : workers) th.join();
+    // Stragglers: a worker can miss tasks pushed after its drain finished.
+    ReadyTask out;
+    while (sched->try_pop(out, 0)) {
+      popped.fetch_add(1, std::memory_order_relaxed);
+    }
+    stop.store(true, std::memory_order_release);
+    reader.join();
+
+    EXPECT_EQ(popped.load(), static_cast<uint64_t>(kWorkers) * kPerWorker);
+    EXPECT_EQ(sched->size(), 0u);
+  }
 }
 
 }  // namespace
