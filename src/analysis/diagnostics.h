@@ -1,0 +1,45 @@
+// Diagnostic records emitted by the mp-verify static passes.
+//
+// Every check reports a stable code so tests (and downstream tooling) can
+// assert on *which* invariant broke, not just that something did:
+//
+//   MPV0xx — generic PTG graph invariants (analysis/graph_verify.h)
+//   MPP0xx — ChainPlan structural invariants (analysis/plan_verify.h)
+//   MPT0xx — TCE variant/graph cross-checks (analysis/tce_verify.h)
+//   MPA0xx — dynamic lifecycle findings (support/analysis.h)
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mp::analysis {
+
+struct Diag {
+  std::string code;     ///< stable diagnostic code, e.g. "MPV006"
+  std::string message;  ///< human-readable description
+  std::string task;     ///< symbolic task or chain, e.g. "GEMM(3,1)" (maybe "")
+};
+
+/// Render a diagnostic list for logs / exceptions. Empty string when clean.
+inline std::string render(const std::vector<Diag>& diags) {
+  if (diags.empty()) return "";
+  std::ostringstream os;
+  os << diags.size() << " diagnostic(s):\n";
+  for (const Diag& d : diags) {
+    os << "  [" << d.code << "] ";
+    if (!d.task.empty()) os << d.task << ": ";
+    os << d.message << "\n";
+  }
+  return os.str();
+}
+
+/// True if any diagnostic in `diags` carries `code`.
+inline bool has_code(const std::vector<Diag>& diags, const std::string& code) {
+  for (const Diag& d : diags) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+}  // namespace mp::analysis

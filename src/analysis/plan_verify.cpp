@@ -1,0 +1,156 @@
+#include "analysis/plan_verify.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+namespace mp::analysis {
+
+namespace {
+
+std::string chain_name(const tce::Chain& ch) {
+  return "chain " + std::to_string(ch.id);
+}
+
+}  // namespace
+
+std::vector<Diag> verify_plan(const tce::ChainPlan& plan) {
+  std::vector<Diag> diags;
+  const auto nstores = static_cast<int8_t>(plan.store_sizes.size());
+
+  // Writer map: within one subroutine (identified by its store triple)
+  // each canonical C block has exactly one producing chain.
+  std::map<std::tuple<int8_t, int8_t, int8_t, uint64_t>, int> writers;
+
+  for (size_t i = 0; i < plan.chains.size(); ++i) {
+    const tce::Chain& ch = plan.chains[i];
+    if (ch.id != static_cast<int>(i)) {
+      diags.push_back({"MPP001",
+                       "chain ids must be dense and ordered: position " +
+                           std::to_string(i) + " holds id " +
+                           std::to_string(ch.id),
+                       chain_name(ch)});
+    }
+
+    if (ch.a_store < 0 || ch.a_store >= nstores || ch.b_store < 0 ||
+        ch.b_store >= nstores || ch.r_store < 0 || ch.r_store >= nstores) {
+      diags.push_back({"MPP006",
+                       "store id outside the plan's " +
+                           std::to_string(plan.store_sizes.size()) +
+                           " store(s)",
+                       chain_name(ch)});
+      continue;  // later range checks would index out of store_sizes
+    }
+
+    auto [wit, winserted] = writers.emplace(
+        std::make_tuple(ch.a_store, ch.b_store, ch.r_store, ch.c_key),
+        ch.id);
+    if (!winserted) {
+      diags.push_back({"MPP002",
+                       "writes C block key " + std::to_string(ch.c_key) +
+                           " already written by chain " +
+                           std::to_string(wit->second) +
+                           " of the same subroutine (duplicate writer)",
+                       chain_name(ch)});
+    }
+
+    if (ch.gemms.empty()) {
+      diags.push_back(
+          {"MPP007", "chain has no GEMMs (nothing produces its C block)",
+           chain_name(ch)});
+    }
+
+    if (ch.m <= 0 || ch.n <= 0 ||
+        static_cast<int64_t>(ch.c_dims[0]) * static_cast<int64_t>(ch.c_dims[1]) !=
+            ch.n ||
+        static_cast<int64_t>(ch.c_dims[2]) * static_cast<int64_t>(ch.c_dims[3]) !=
+            ch.m) {
+      diags.push_back({"MPP004",
+                       "C dims [" + std::to_string(ch.c_dims[0]) + "," +
+                           std::to_string(ch.c_dims[1]) + "," +
+                           std::to_string(ch.c_dims[2]) + "," +
+                           std::to_string(ch.c_dims[3]) +
+                           "] inconsistent with C matrix " +
+                           std::to_string(ch.m) + " x " + std::to_string(ch.n),
+                       chain_name(ch)});
+    }
+    if (ch.c_offset < 0 ||
+        ch.c_offset + ch.c_elems() > plan.store_size(ch.r_store)) {
+      diags.push_back({"MPP006",
+                       "C block offset " + std::to_string(ch.c_offset) +
+                           " + " + std::to_string(ch.c_elems()) +
+                           " elements overruns result store",
+                       chain_name(ch)});
+    }
+
+    for (size_t gi = 0; gi < ch.gemms.size(); ++gi) {
+      const tce::GemmOp& g = ch.gemms[gi];
+      if (g.l2 != static_cast<int>(gi)) {
+        diags.push_back({"MPP003",
+                         "GEMM chain positions must be dense: position " +
+                             std::to_string(gi) + " holds L2=" +
+                             std::to_string(g.l2) +
+                             " (dropped or duplicated chain link)",
+                         chain_name(ch)});
+      }
+      if (g.m != ch.m || g.n != ch.n || g.k <= 0) {
+        diags.push_back({"MPP004",
+                         "GEMM " + std::to_string(gi) + " is " +
+                             std::to_string(g.m) + "x" + std::to_string(g.n) +
+                             "x" + std::to_string(g.k) +
+                             " but the chain accumulates " +
+                             std::to_string(ch.m) + "x" + std::to_string(ch.n),
+                         chain_name(ch)});
+        continue;
+      }
+      const int64_t a_elems = static_cast<int64_t>(g.m) * g.k;
+      const int64_t b_elems = static_cast<int64_t>(g.n) * g.k;
+      if (g.a_offset < 0 ||
+          g.a_offset + a_elems > plan.store_size(ch.a_store) ||
+          g.b_offset < 0 ||
+          g.b_offset + b_elems > plan.store_size(ch.b_store)) {
+        diags.push_back({"MPP006",
+                         "GEMM " + std::to_string(gi) +
+                             " input block offset overruns its store",
+                         chain_name(ch)});
+      }
+    }
+
+    const size_t ns = ch.sorts.size();
+    if (ns != 1 && ns != 2 && ns != 4) {
+      diags.push_back({"MPP005",
+                       "chain fires " + std::to_string(ns) +
+                           " sort guard(s); the TCE guard structure only "
+                           "produces 1, 2 or 4",
+                       chain_name(ch)});
+    }
+    std::array<bool, 4> guard_seen{};
+    for (const tce::SortOp& so : ch.sorts) {
+      if (so.guard_id < 0 || so.guard_id >= 4 ||
+          guard_seen[static_cast<size_t>(so.guard_id)]) {
+        diags.push_back({"MPP005",
+                         "sort guard id " + std::to_string(so.guard_id) +
+                             " is out of range or fired twice",
+                         chain_name(ch)});
+      } else {
+        guard_seen[static_cast<size_t>(so.guard_id)] = true;
+      }
+      std::array<int, 4> perm = so.perm;
+      std::sort(perm.begin(), perm.end());
+      if (perm != std::array<int, 4>{0, 1, 2, 3}) {
+        diags.push_back({"MPP005",
+                         "sort permutation [" + std::to_string(so.perm[0]) +
+                             "," + std::to_string(so.perm[1]) + "," +
+                             std::to_string(so.perm[2]) + "," +
+                             std::to_string(so.perm[3]) +
+                             "] is not a permutation of 0..3",
+                         chain_name(ch)});
+      }
+    }
+  }
+  return diags;
+}
+
+}  // namespace mp::analysis

@@ -1,0 +1,28 @@
+// Structural verifier for ChainPlans (pass 1 of mp-verify, plan layer).
+//
+// The inspection phase (Section III.B) is the paper's trust anchor: every
+// executor replays the ChainPlan verbatim, so a malformed plan corrupts
+// results identically in all of them and no cross-executor comparison can
+// catch it. These checks validate the plan's own invariants:
+//
+//   MPP001  chain ids       — not dense/ordered (chains[i].id != i)
+//   MPP002  duplicate writer— two chains write the same C block of the same
+//                             subroutine (same store triple + c_key)
+//   MPP003  gemm sequence   — chain positions L2 not dense (dropped or
+//                             duplicated GEMM link)
+//   MPP004  dims            — C buffer dims inconsistent with m x n, or a
+//                             GEMM's m/n/k inconsistent with its chain
+//   MPP005  sort guards     — guard count not in {1,2,4}, duplicate guard
+//                             ids, or a sort perm that is not a permutation
+//   MPP006  store range     — store id or block offset outside the store
+//   MPP007  empty chain     — chain with no GEMMs
+#pragma once
+
+#include "analysis/diagnostics.h"
+#include "tce/chain_plan.h"
+
+namespace mp::analysis {
+
+std::vector<Diag> verify_plan(const tce::ChainPlan& plan);
+
+}  // namespace mp::analysis

@@ -1,0 +1,167 @@
+#include "analysis/tce_verify.h"
+
+#include "analysis/plan_verify.h"
+
+namespace mp::analysis {
+
+namespace {
+
+struct ChainCounts {
+  size_t reads_a = 0, reads_b = 0, dfills = 0, gemms = 0, reduces = 0,
+         sorts = 0, writes = 0;
+};
+
+}  // namespace
+
+std::vector<Diag> verify_tce_graph(const tce::ChainPlan& plan,
+                                   const tce::VariantConfig& var,
+                                   const tce::PtgBuild& build,
+                                   const GraphModel& graph) {
+  std::vector<Diag> diags;
+  const tce::PtgClassIds& ids = build.ids;
+
+  std::vector<ChainCounts> per_chain(plan.chains.size());
+  size_t foreign = 0;
+  for (const GraphTask& t : graph.tasks) {
+    const auto l1 = static_cast<size_t>(t.key.p[0]);
+    if (l1 >= per_chain.size()) {
+      ++foreign;
+      continue;
+    }
+    ChainCounts& cc = per_chain[l1];
+    if (t.key.cls == ids.read_a) ++cc.reads_a;
+    else if (t.key.cls == ids.read_b) ++cc.reads_b;
+    else if (t.key.cls == ids.dfill) ++cc.dfills;
+    else if (t.key.cls == ids.gemm) ++cc.gemms;
+    else if (t.key.cls == ids.reduce) ++cc.reduces;
+    else if (t.key.cls == ids.sort) ++cc.sorts;
+    else if (t.key.cls == ids.write) ++cc.writes;
+  }
+  if (foreign > 0) {
+    diags.push_back({"MPT005",
+                     std::to_string(foreign) +
+                         " task instance(s) reference a chain id outside "
+                         "the plan",
+                     ""});
+  }
+
+  size_t expected_total = 0;
+  for (const tce::Chain& ch : plan.chains) {
+    const std::string name = "chain " + std::to_string(ch.id);
+    const ChainCounts& cc = per_chain[static_cast<size_t>(ch.id)];
+    const size_t len = ch.gemms.size();
+    const size_t arms = ch.sorts.size();
+
+    // Reduction fan-in vs chain segmentation.
+    const size_t want_reduces =
+        (var.parallel_gemms && len > 1) ? len - 1 : 0;
+    if (cc.reduces != want_reduces) {
+      diags.push_back({"MPT001",
+                       "reduction tree has " + std::to_string(cc.reduces) +
+                           " node(s) for " + std::to_string(len) +
+                           " GEMM leaves; chain segmentation requires " +
+                           std::to_string(want_reduces),
+                       name});
+    }
+    const size_t want_dfills = var.parallel_gemms ? 0 : 1;
+    if (cc.dfills != want_dfills || cc.gemms != len ||
+        cc.reads_a != len || cc.reads_b != len) {
+      diags.push_back({"MPT005",
+                       "chain instance counts off: " +
+                           std::to_string(cc.reads_a) + "/" +
+                           std::to_string(cc.reads_b) + " reads, " +
+                           std::to_string(cc.dfills) + " dfills, " +
+                           std::to_string(cc.gemms) + " gemms for " +
+                           std::to_string(len) + " chain links",
+                       name});
+    }
+
+    // Guard-consistent SORT / WRITE arms.
+    const size_t want_sorts = var.parallel_sorts ? arms : 1;
+    if (cc.sorts != want_sorts) {
+      diags.push_back({"MPT002",
+                       std::to_string(cc.sorts) + " SORT task(s) for " +
+                           std::to_string(arms) +
+                           " fired guard(s) under sort mode '" +
+                           (var.parallel_sorts ? "parallel" : "single") + "'",
+                       name});
+    }
+    const size_t want_writes = var.parallel_writes ? arms : 1;
+    if (cc.writes != want_writes) {
+      diags.push_back({"MPT003",
+                       std::to_string(cc.writes) + " WRITE task(s) for " +
+                           std::to_string(arms) +
+                           " fired guard(s) under write mode '" +
+                           (var.parallel_writes ? "parallel" : "single") + "'",
+                       name});
+    }
+    // WRITE fan-in: single-write-over-parallel-sorts gathers every arm.
+    const int want_write_fanin =
+        (!var.parallel_writes && var.parallel_sorts)
+            ? static_cast<int>(arms)
+            : 1;
+    for (const GraphTask& t : graph.tasks) {
+      if (t.key.cls != ids.write || t.key.p[0] != ch.id) continue;
+      if (t.num_inputs != want_write_fanin) {
+        diags.push_back(
+            {"MPT003",
+             "WRITE declares fan-in " + std::to_string(t.num_inputs) +
+                 " but the variant requires " +
+                 std::to_string(want_write_fanin),
+             GraphModel::name_of(build.pool, t.key)});
+      }
+    }
+
+    // Every GEMM must be fed by its own READ_A/READ_B pair.
+    for (const tce::GemmOp& g : ch.gemms) {
+      const ptg::Params p = ptg::params_of(ch.id, g.l2);
+      const bool has_a =
+          graph.index.count(ptg::TaskKey{ids.read_a, p}) != 0;
+      const bool has_b =
+          graph.index.count(ptg::TaskKey{ids.read_b, p}) != 0;
+      const bool has_g = graph.index.count(ptg::TaskKey{ids.gemm, p}) != 0;
+      if (!has_a || !has_b || !has_g) {
+        diags.push_back(
+            {"MPT004",
+             std::string("GEMM link missing its producers: ") +
+                 (has_g ? "" : "GEMM absent; ") + (has_a ? "" : "READ_A absent; ") +
+                 (has_b ? "" : "READ_B absent; ") + "for L2=" +
+                 std::to_string(g.l2),
+             name});
+      }
+    }
+
+    expected_total += 2 * len            // READ_A + READ_B
+                      + len              // GEMM
+                      + want_dfills + want_reduces + want_sorts + want_writes;
+  }
+
+  if (graph.tasks.size() != expected_total) {
+    diags.push_back({"MPT005",
+                     "materialized " + std::to_string(graph.tasks.size()) +
+                         " tasks; plan + variant imply " +
+                         std::to_string(expected_total),
+                     ""});
+  }
+  return diags;
+}
+
+VerifyReport verify_variant(const tce::ChainPlan& plan,
+                            const tce::StoreList& stores,
+                            const tce::VariantConfig& variant, int nranks) {
+  VerifyReport rep;
+  rep.diags = verify_plan(plan);
+
+  tce::PtgBuild build = tce::build_ptg(plan, stores, variant, nranks);
+  GraphModel graph = materialize_graph(build.pool, nranks);
+  rep.num_tasks = graph.tasks.size();
+  rep.num_edges = graph.num_edges;
+
+  auto gdiags = verify_graph(build.pool, graph);
+  rep.diags.insert(rep.diags.end(), gdiags.begin(), gdiags.end());
+  auto tdiags = verify_tce_graph(plan, variant, build, graph);
+  rep.diags.insert(rep.diags.end(), tdiags.begin(), tdiags.end());
+  return rep;
+}
+
+}  // namespace mp::analysis

@@ -1,8 +1,11 @@
 #include "ptg/context.h"
 
+#include <cstdlib>
 #include <sstream>
 #include <thread>
 
+#include "analysis/graph_verify.h"
+#include "support/analysis.h"
 #include "support/error.h"
 #include "support/log.h"
 #include "vc/message.h"
@@ -21,6 +24,19 @@ Context::Context(vc::RankCtx& rank_ctx, const Taskpool& pool, Options opts)
   sched_ = Scheduler::create(opts_.policy, opts_.num_workers);
   worker_events_.resize(static_cast<size_t>(opts_.num_workers));
 }
+
+std::vector<analysis::Diag> Context::validate_plan() const {
+  return analysis::verify_graph(pool_, nranks());
+}
+
+namespace {
+
+bool env_verify_enabled() {
+  const char* e = std::getenv("MP_VERIFY");
+  return e != nullptr && *e != '\0' && std::string(e) != "0";
+}
+
+}  // namespace
 
 double Context::effective_priority(const TaskClass& c,
                                    const Params& p) const {
@@ -90,8 +106,12 @@ void Context::deposit(const TaskKey& key, int slot, DataBuf buf,
     MP_REQUIRE(e.inputs[static_cast<size_t>(slot)] == nullptr,
                "double deposit into the same input slot");
     e.inputs[static_cast<size_t>(slot)] = std::move(buf);
+    // The shard is a hand-off point: the depositing thread publishes the
+    // buffer, the thread completing the threshold takes the whole set over.
+    MP_ANNOTATE_CHANNEL_SEND(&shard);
     progress_.fetch_add(1, std::memory_order_relaxed);
     if (++e.arrived < e.threshold) return;
+    MP_ANNOTATE_CHANNEL_RECV(&shard);
     ready_inputs = std::move(e.inputs);
     shard.map.erase(key);
   }
@@ -106,8 +126,15 @@ void Context::execute_task(ReadyTask t, int wid) {
   const TaskClass& c = pool_.cls(t.key.cls);
   TaskCtx tctx(this, t.key, std::move(t.inputs), wid);
 
+  MP_ANNOTATE_TASK_BEGIN(c.name.c_str(), t.key.p.data(), 3);
+  for (const DataBuf& in : tctx.inputs_view()) {
+    if (in) MP_ANNOTATE_BUF_READ(in.get());
+  }
   const double t0 = opts_.enable_tracing ? now() : 0.0;
   c.body(tctx);
+  for (const DataBuf& out : tctx.outputs()) {
+    if (out) MP_ANNOTATE_BUF_WRITE(out.get());
+  }
   if (opts_.enable_tracing) {
     worker_events_[static_cast<size_t>(wid)].push_back(
         TraceEvent{rank(), wid, t.key.cls, t.key.p, t0, now(), false});
@@ -161,6 +188,7 @@ void Context::execute_task(ReadyTask t, int wid) {
     }
   }
 
+  MP_ANNOTATE_TASK_END();
   progress_.fetch_add(1, std::memory_order_relaxed);
   if (executed_.fetch_add(1, std::memory_order_acq_rel) + 1 == expected_) {
     done_.store(true, std::memory_order_release);
@@ -279,7 +307,11 @@ void Context::comm_loop() {
           key.cls = r.get<int16_t>();
           for (auto& x : key.p) x = r.get<int32_t>();
           const int slot = r.get<int8_t>();
-          auto data = std::make_shared<std::vector<double>>(r.get_doubles());
+          // Pooled (annotated) buffer so the lifecycle checker tracks the
+          // received copy exactly like a locally-produced one; the move
+          // assignment also recycles the vector's allocation.
+          auto data = make_buf_pooled(0);
+          *data = r.get_doubles();
           deposit(key, slot, std::move(data));
         } catch (...) {
           record_error();
@@ -353,6 +385,25 @@ void Context::comm_loop() {
 
 void Context::run() {
   MP_REQUIRE(!ran_.exchange(true), "Context::run may only be called once");
+
+  // Pre-execution graph verification (mp-verify pass 1). The graph is the
+  // same on every rank, so rank 0 checks it for the whole job; a malformed
+  // graph fails fast here instead of silently corrupting results.
+  if (rank() == 0 && env_verify_enabled()) {
+    const auto diags = validate_plan();
+    if (!diags.empty()) {
+      // The other ranks are already entering their comm loops; without an
+      // abort broadcast they would sit out their full watchdog timeout
+      // waiting for activations this rank will never send.
+      if (!abort_broadcast_.exchange(true)) {
+        for (int r = 0; r < nranks(); ++r) {
+          if (r != rank()) rctx_.send(r, kTagAbort, {});
+        }
+      }
+      throw StateError("MP_VERIFY: task graph failed static verification; " +
+                       analysis::render(diags));
+    }
+  }
 
   enumerate_startup();
   if (expected_ == 0) done_.store(true);

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/diagnostics.h"
 #include "ptg/scheduler.h"
 #include "ptg/taskpool.h"
 #include "ptg/trace.h"
@@ -53,8 +54,18 @@ class Context {
   Context& operator=(const Context&) = delete;
 
   /// Execute the PTG to completion. Collective across ranks (ends with a
-  /// barrier). May be called once per Context.
+  /// barrier). May be called once per Context. When the MP_VERIFY
+  /// environment variable is set (to anything but "0"), rank 0 first runs
+  /// validate_plan() and the whole job aborts with a StateError carrying
+  /// the diagnostics if the graph is malformed.
   void run();
+
+  /// Statically verify the taskpool's materialized graph for this cluster
+  /// size (acyclicity, no dropped/duplicated edges, no orphan tasks, no
+  /// leaked buffers — see analysis/graph_verify.h for the diagnostic
+  /// codes). Pure inspection: no task body runs. Returns the diagnostics;
+  /// empty means the graph is well-formed.
+  std::vector<analysis::Diag> validate_plan() const;
 
   int rank() const { return rctx_.rank(); }
   int nranks() const { return rctx_.nranks(); }

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <queue>
 
+#include "support/analysis.h"
 #include "support/error.h"
 
 namespace mp::ptg {
@@ -62,6 +63,7 @@ class CentralScheduler final : public Scheduler {
   void push(ReadyTask t, int /*worker*/) override {
     auto lock = counted_lock(mu_, contended_pushes_);
     queue_.push(std::move(t));
+    MP_ANNOTATE_CHANNEL_SEND(this);
     size_.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -69,6 +71,7 @@ class CentralScheduler final : public Scheduler {
     if (ts.empty()) return;
     auto lock = counted_lock(mu_, contended_pushes_);
     for (auto& t : ts) queue_.push(std::move(t));
+    MP_ANNOTATE_CHANNEL_SEND(this);
     size_.fetch_add(ts.size(), std::memory_order_relaxed);
     ts.clear();
   }
@@ -79,6 +82,7 @@ class CentralScheduler final : public Scheduler {
     auto lock = counted_lock(mu_, contended_pops_);
     if (queue_.empty()) return false;
     out = pop_top(queue_);
+    MP_ANNOTATE_CHANNEL_RECV(this);
     size_.fetch_sub(1, std::memory_order_relaxed);
     return true;
   }
@@ -88,9 +92,12 @@ class CentralScheduler final : public Scheduler {
   }
 
   SchedStats stats() const override {
+    // Counters are bumped relaxed on the hot paths (monotonic, no ordering
+    // needed there); the snapshot uses acquire loads so a reader that saw a
+    // later counter also sees every increment that preceded it.
     SchedStats s;
-    s.contended_pushes = contended_pushes_.load(std::memory_order_relaxed);
-    s.contended_pops = contended_pops_.load(std::memory_order_relaxed);
+    s.contended_pushes = contended_pushes_.load(std::memory_order_acquire);
+    s.contended_pops = contended_pops_.load(std::memory_order_acquire);
     return s;
   }
 
@@ -111,8 +118,19 @@ class ChaseLevDeque {
   static constexpr size_t kCap = 4096;  // power of two
   static constexpr size_t kMask = kCap - 1;
 
+  ChaseLevDeque() {
+    // Registers the deque with the lifecycle checker (and clears any stale
+    // ownership left by a previous deque at the same recycled address).
+    MP_ANNOTATE_DEQUE_CREATE(this);
+  }
+
+  /// Resets the checker's owner claim; called before the destroying thread
+  /// drains the bottom end during single-threaded teardown.
+  void reset_owner_for_teardown() { MP_ANNOTATE_DEQUE_CREATE(this); }
+
   /// Owner only. False when full (caller reroutes to the overflow queue).
   bool push_bottom(ReadyTask* t) {
+    MP_ANNOTATE_DEQUE_OWNER_OP(this);
     const int64_t b = bottom_.load(std::memory_order_relaxed);
     const int64_t tp = top_.load(std::memory_order_acquire);
     if (b - tp >= static_cast<int64_t>(kCap)) return false;
@@ -120,12 +138,15 @@ class ChaseLevDeque {
                                                  std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_release);
     bottom_.store(b + 1, std::memory_order_relaxed);
+    // Publish a happens-before edge for a future thief's steal_top().
+    MP_ANNOTATE_CHANNEL_SEND(this);
     return true;
   }
 
   /// Owner only. LIFO end; nullptr when empty (or lost the final-element
   /// race to a thief).
   ReadyTask* pop_bottom() {
+    MP_ANNOTATE_DEQUE_OWNER_OP(this);
     const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     bottom_.store(b, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
@@ -154,6 +175,7 @@ class ChaseLevDeque {
   /// here can only have been overwritten by the owner after `top` moved,
   /// which makes the CAS fail, so a stale task is never returned.
   ReadyTask* steal_top() {
+    MP_ANNOTATE_DEQUE_STEAL_OP(this);
     int64_t tp = top_.load(std::memory_order_acquire);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     const int64_t b = bottom_.load(std::memory_order_acquire);
@@ -164,6 +186,8 @@ class ChaseLevDeque {
                                       std::memory_order_relaxed)) {
       return nullptr;
     }
+    // Adopt the owner's happens-before edge published at push_bottom().
+    MP_ANNOTATE_CHANNEL_RECV(this);
     return t;
   }
 
@@ -184,7 +208,11 @@ class StealingScheduler final : public Scheduler {
 
   ~StealingScheduler() override {
     // Single-threaded by the time the scheduler dies; reclaim stragglers.
+    // The destroying thread is usually not the owning worker, which is fine
+    // only because every worker has joined — tell the checker the protocol
+    // restarts here rather than report a bogus steal violation.
     for (auto& d : deques_) {
+      d->reset_owner_for_teardown();
       while (ReadyTask* t = d->pop_bottom()) delete t;
     }
   }
@@ -217,6 +245,7 @@ class StealingScheduler final : public Scheduler {
       auto lock = counted_lock(inj_mu_, contended_pops_);
       if (!injection_.empty()) {
         out = pop_top(injection_);
+        MP_ANNOTATE_CHANNEL_RECV(&injection_);
         size_.fetch_sub(1, std::memory_order_relaxed);
         return true;
       }
@@ -227,7 +256,9 @@ class StealingScheduler final : public Scheduler {
       const size_t victim = (me + i) % n;
       steal_attempts_.fetch_add(1, std::memory_order_relaxed);
       if (ReadyTask* t = deques_[victim]->steal_top()) {
-        steals_.fetch_add(1, std::memory_order_relaxed);
+        // Release pairs with the acquire in stats(): a snapshot observing
+        // this steal also observes the attempts counted before it.
+        steals_.fetch_add(1, std::memory_order_release);
         return take(t, out);
       }
     }
@@ -239,15 +270,21 @@ class StealingScheduler final : public Scheduler {
   }
 
   uint64_t steals() const override {
-    return steals_.load(std::memory_order_relaxed);
+    return steals_.load(std::memory_order_acquire);
   }
 
   SchedStats stats() const override {
+    // Same convention as CentralScheduler::stats(): relaxed increments on
+    // the hot paths, acquire loads for the snapshot. steals_ is read
+    // *first*: its increment is a release, so the acquire load that saw S
+    // steals also sees the >= S attempt increments sequenced before them —
+    // SchedStats::validate()'s steals <= steal_attempts invariant holds
+    // even for a mid-run snapshot.
     SchedStats s;
-    s.steals = steals_.load(std::memory_order_relaxed);
-    s.steal_attempts = steal_attempts_.load(std::memory_order_relaxed);
-    s.contended_pushes = contended_pushes_.load(std::memory_order_relaxed);
-    s.contended_pops = contended_pops_.load(std::memory_order_relaxed);
+    s.steals = steals_.load(std::memory_order_acquire);
+    s.steal_attempts = steal_attempts_.load(std::memory_order_acquire);
+    s.contended_pushes = contended_pushes_.load(std::memory_order_acquire);
+    s.contended_pops = contended_pops_.load(std::memory_order_acquire);
     return s;
   }
 
@@ -263,6 +300,7 @@ class StealingScheduler final : public Scheduler {
     }
     auto lock = counted_lock(inj_mu_, contended_pushes_);
     injection_.push(std::move(t));
+    MP_ANNOTATE_CHANNEL_SEND(&injection_);
   }
 
   bool take(ReadyTask* t, ReadyTask& out) {

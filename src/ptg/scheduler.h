@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "ptg/types.h"
@@ -45,6 +46,19 @@ struct SchedStats {
   uint64_t steal_attempts = 0;  ///< top-end probes (incl. failed CAS races)
   uint64_t contended_pushes = 0;
   uint64_t contended_pops = 0;
+
+  /// Internal-consistency self check: a successful steal is always preceded
+  /// by the attempt that found it, so steals can never exceed
+  /// steal_attempts in an acquire-ordered snapshot. Returns an empty string
+  /// when consistent, else a description of the violated invariant (used as
+  /// a stress-test assertion message).
+  std::string validate() const {
+    if (steals > steal_attempts) {
+      return "SchedStats: steals (" + std::to_string(steals) +
+             ") > steal_attempts (" + std::to_string(steal_attempts) + ")";
+    }
+    return {};
+  }
 };
 
 class Scheduler {

@@ -46,6 +46,10 @@ class TaskCtx {
   // -- used by the runtime after the body returns --
   std::vector<DataBuf>& outputs() { return outputs_; }
 
+  /// All input buffers (null where take_input() moved one out). Used by the
+  /// runtime's lifecycle instrumentation.
+  const std::vector<DataBuf>& inputs_view() const { return inputs_; }
+
  private:
   Context* rt_;
   TaskKey key_;
@@ -69,6 +73,12 @@ struct TaskClass {
   /// Number of input slots filled by predecessor tasks (the activation
   /// threshold). Instances with 0 task inputs are startup tasks. Required.
   std::function<int(const Params&)> num_task_inputs;
+
+  /// Number of output slots instance p sets (0 for sink tasks). Optional —
+  /// when present, the static verifier (analysis/graph_verify.h) checks
+  /// refcount conservation: every declared output slot must reach at least
+  /// one consumer and no route may leave an undeclared slot.
+  std::function<int(const Params&)> num_outputs;
 
   /// Dataflow: append one OutRoute per "->" edge of instance p. Optional —
   /// sink tasks (e.g. WRITE_C) route nothing.

@@ -12,6 +12,8 @@
 #include <memory>
 #include <vector>
 
+#include "support/analysis.h"
+
 namespace mp::ptg {
 
 /// Up to three integer parameters per task instance (the CC PTGs use at
@@ -51,7 +53,19 @@ struct TaskKeyHash {
 using DataBuf = std::shared_ptr<std::vector<double>>;
 
 inline DataBuf make_buf(size_t n, double fill = 0.0) {
+#if defined(MP_ANALYSIS) && MP_ANALYSIS
+  // Annotating deleter so the lifecycle checker tracks ALL task-flow
+  // buffers uniformly, pooled or not (an unannotated buffer would make
+  // every MP_ANNOTATE_BUF_READ/WRITE on it a silent no-op).
+  auto* v = new std::vector<double>(n, fill);
+  MP_ANNOTATE_BUF_CREATE(v);
+  return DataBuf(v, [](std::vector<double>* p) {
+    MP_ANNOTATE_BUF_DESTROY(p);
+    delete p;
+  });
+#else
   return std::make_shared<std::vector<double>>(n, fill);
+#endif
 }
 
 namespace pool_detail {
@@ -94,7 +108,14 @@ inline DataBuf make_buf_pooled(size_t n, double fill = 0.0) {
   } else {
     v = new std::vector<double>(n, fill);
   }
+  // Lifecycle tracking happens at the pool boundary, not the heap boundary:
+  // a recycled handout is a *new* object to the checker, so a stale
+  // reference to the previous incarnation at the same address is reported
+  // as use-after-release — the exact bug class address-based tools (TSan,
+  // ASan) lose once the pool recycles storage.
+  MP_ANNOTATE_BUF_CREATE(v);
   return DataBuf(v, [](std::vector<double>* p) {
+    MP_ANNOTATE_BUF_DESTROY(p);
     if (pool_detail::tls_pool_alive) {
       auto& pool = pool_detail::tls_pool();
       if (pool.free.size() < pool_detail::BufPool::kMaxCached) {

@@ -18,6 +18,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "support/analysis.h"
 #include "support/error.h"
 
 namespace mp::support {
@@ -81,6 +82,15 @@ class WorkspacePool {
  public:
   static constexpr int kSlots = 8;
 
+  WorkspacePool() = default;
+  ~WorkspacePool() {
+    // Un-register with the lifecycle checker: a later thread's TLS block
+    // may land on this address and must be able to claim it afresh.
+    MP_ANNOTATE_TLS_RELEASE(this);
+  }
+  WorkspacePool(const WorkspacePool&) = delete;
+  WorkspacePool& operator=(const WorkspacePool&) = delete;
+
   // Slot assignments (documented so new users pick a free one):
   enum Slot {
     kGemmPackA = 0,   ///< dgemm packed A block (kMc x kKc)
@@ -102,6 +112,10 @@ class WorkspacePool {
   /// A buffer with room for `elems` doubles in the given slot.
   double* get(int slot, size_t elems) {
     MP_DCHECK(slot >= 0 && slot < kSlots, "WorkspacePool: bad slot");
+    // Thread-local ownership check: this pool must only ever be reached
+    // through tls() on its owning thread; a cached reference leaking to
+    // another thread is an MPA006 finding.
+    MP_ANNOTATE_TLS_GUARD(this);
     return bufs_[slot].reserve(elems);
   }
 

@@ -1,0 +1,392 @@
+#include "tce/ptg_build.h"
+
+#include <memory>
+#include <mutex>
+
+#include "ga/hash_block.h"
+#include "linalg/gemm.h"
+#include "linalg/sort4.h"
+#include "support/analysis.h"
+#include "support/error.h"
+
+namespace mp::tce {
+
+using ptg::DataBuf;
+using ptg::OutRoute;
+using ptg::Params;
+using ptg::params_of;
+using ptg::TaskClass;
+using ptg::TaskCtx;
+using ptg::TaskKey;
+
+namespace {
+
+/// Binary-heap reduction tree over `len` leaves: internal nodes are
+/// 0..len-2, leaf i sits at heap position len-1+i. Every internal node has
+/// exactly two children. parent_slot is 0 for odd positions, 1 for even.
+struct ReduceTree {
+  int len;
+  int parent_of(int pos) const { return (pos - 1) / 2; }
+  int slot_of(int pos) const { return (pos - 1) % 2; }
+  int leaf_pos(int leaf) const { return len - 1 + leaf; }
+};
+
+}  // namespace
+
+PtgBuild build_ptg(const ChainPlan& plan, const StoreList& stores,
+                   const VariantConfig& var, int nranks) {
+  var.validate();
+  MP_REQUIRE(nranks >= 1, "build_ptg: need at least one rank");
+  MP_REQUIRE(stores.size() >= plan.store_sizes.size(),
+             "build_ptg: missing tensor stores");
+  for (const TensorStore& ts : stores) {
+    MP_REQUIRE(ts.shape && ts.ga, "build_ptg: null storage");
+  }
+
+  const int nchains = static_cast<int>(plan.chains.size());
+  const PriorityScheme prio{nchains, nranks};
+
+  const ChainPlan* pl = &plan;
+  const StoreList* st = &stores;
+  auto home = [nranks](int l1) { return l1 % nranks; };
+
+  // Node-level mutex protecting the WRITE critical region (Section IV-A):
+  // one per rank, shared by every WRITE task executing on that rank.
+  auto write_mutex = std::make_shared<std::mutex>();
+
+  PtgBuild b;
+  ptg::Taskpool& pool = b.pool;
+  const auto one_output = [](const Params&) { return 1; };
+
+  // ---- READ_A / READ_B -------------------------------------------------
+  auto make_reader = [&](const char* name, bool is_a) {
+    TaskClass c;
+    c.name = name;
+    c.rank_of = [pl, st, is_a](const Params& p) {
+      const Chain& ch = pl->chains[static_cast<size_t>(p[0])];
+      const GemmOp& g = ch.gemms[static_cast<size_t>(p[1])];
+      const TensorStore& ts =
+          (*st)[static_cast<size_t>(is_a ? ch.a_store : ch.b_store)];
+      return ts.ga->owner_of(is_a ? g.a_offset : g.b_offset);
+    };
+    c.num_task_inputs = [](const Params&) { return 0; };
+    c.num_outputs = one_output;
+    c.priority = [prio](const Params& p) { return prio.reader(p[0]); };
+    c.enumerate_rank = [pl, st, is_a](int rank) {
+      std::vector<Params> out;
+      for (const Chain& ch : pl->chains) {
+        const TensorStore& ts =
+            (*st)[static_cast<size_t>(is_a ? ch.a_store : ch.b_store)];
+        for (const GemmOp& g : ch.gemms) {
+          const int owner = ts.ga->owner_of(is_a ? g.a_offset : g.b_offset);
+          if (owner == rank) out.push_back(params_of(ch.id, g.l2));
+        }
+      }
+      return out;
+    };
+    c.body = [pl, st, is_a](TaskCtx& t) {
+      const Chain& ch = pl->chains[static_cast<size_t>(t.params()[0])];
+      const GemmOp& g = ch.gemms[static_cast<size_t>(t.params()[1])];
+      const TensorStore& ts =
+          (*st)[static_cast<size_t>(is_a ? ch.a_store : ch.b_store)];
+      const size_t elems = is_a ? static_cast<size_t>(g.m) * g.k
+                                : static_cast<size_t>(g.n) * g.k;
+      auto buf = ptg::make_buf_pooled(elems);
+      ga::get_hash_block(*ts.ga, ts.shape->index(),
+                         is_a ? g.a_key : g.b_key, buf->data());
+      t.set_output(0, std::move(buf));
+    };
+    return c;
+  };
+
+  b.ids.read_a = pool.add_class(make_reader("READ_A", true));
+  b.ids.read_b = pool.add_class(make_reader("READ_B", false));
+
+  // ---- DFILL (serial-chain variant only) --------------------------------
+  if (!var.parallel_gemms) {
+    TaskClass c;
+    c.name = "DFILL";
+    c.rank_of = [home](const Params& p) { return home(p[0]); };
+    c.num_task_inputs = [](const Params&) { return 0; };
+    c.num_outputs = one_output;
+    c.priority = [prio](const Params& p) { return prio.other(p[0]); };
+    c.enumerate_rank = [pl, home](int rank) {
+      std::vector<Params> out;
+      for (const Chain& ch : pl->chains) {
+        if (home(ch.id) == rank) out.push_back(params_of(ch.id));
+      }
+      return out;
+    };
+    c.body = [pl](TaskCtx& t) {
+      const Chain& ch = pl->chains[static_cast<size_t>(t.params()[0])];
+      t.set_output(0, ptg::make_buf_pooled(static_cast<size_t>(ch.c_elems())));
+    };
+    b.ids.dfill = pool.add_class(std::move(c));
+  }
+
+  // ---- GEMM --------------------------------------------------------------
+  {
+    TaskClass c;
+    c.name = "GEMM";
+    c.rank_of = [home](const Params& p) { return home(p[0]); };
+    c.num_task_inputs = [parallel = var.parallel_gemms](const Params&) {
+      return parallel ? 2 : 3;  // A, B [, C carried along chain]
+    };
+    c.num_outputs = one_output;
+    c.priority = [prio](const Params& p) { return prio.gemm(p[0]); };
+    c.enumerate_rank = [pl, home](int rank) {
+      std::vector<Params> out;
+      for (const Chain& ch : pl->chains) {
+        if (home(ch.id) != rank) continue;
+        for (const GemmOp& g : ch.gemms) out.push_back(params_of(ch.id, g.l2));
+      }
+      return out;
+    };
+    const bool parallel = var.parallel_gemms;
+    c.body = [pl, parallel](TaskCtx& t) {
+      const Chain& ch = pl->chains[static_cast<size_t>(t.params()[0])];
+      const GemmOp& g = ch.gemms[static_cast<size_t>(t.params()[1])];
+      const DataBuf& a = t.input(0);
+      const DataBuf& b = t.input(1);
+      DataBuf cbuf = parallel
+                         ? ptg::make_buf_pooled(static_cast<size_t>(ch.c_elems()))
+                         : t.take_input(2);
+      linalg::dgemm(g.transa, g.transb, static_cast<size_t>(g.m),
+                    static_cast<size_t>(g.n), static_cast<size_t>(g.k),
+                    g.alpha, a->data(), static_cast<size_t>(g.lda()),
+                    b->data(), static_cast<size_t>(g.ldb()), 1.0,
+                    cbuf->data(), static_cast<size_t>(g.m));
+      t.set_output(0, std::move(cbuf));
+    };
+    b.ids.gemm = pool.add_class(std::move(c));
+  }
+  const int16_t gemm_id = b.ids.gemm;
+
+  // ---- REDUCE (parallel-GEMM variants) -----------------------------------
+  if (var.parallel_gemms) {
+    TaskClass c;
+    c.name = "REDUCE";
+    c.rank_of = [home](const Params& p) { return home(p[0]); };
+    c.num_task_inputs = [](const Params&) { return 2; };
+    c.num_outputs = one_output;
+    c.priority = [prio](const Params& p) { return prio.other(p[0]); };
+    c.enumerate_rank = [pl, home](int rank) {
+      std::vector<Params> out;
+      for (const Chain& ch : pl->chains) {
+        if (home(ch.id) != rank) continue;
+        const int len = static_cast<int>(ch.gemms.size());
+        for (int node = 0; node < len - 1; ++node) {
+          out.push_back(params_of(ch.id, node));
+        }
+      }
+      return out;
+    };
+    c.body = [](TaskCtx& t) {
+      DataBuf acc = t.take_input(0);
+      const DataBuf& other = t.input(1);
+      linalg::daxpy(acc->size(), 1.0, other->data(), acc->data());
+      t.set_output(0, std::move(acc));
+    };
+    b.ids.reduce = pool.add_class(std::move(c));
+  }
+  const int16_t reduce_id = b.ids.reduce;
+
+  // ---- SORT --------------------------------------------------------------
+  {
+    TaskClass c;
+    c.name = var.parallel_sorts ? "SORT_i" : "SORT";
+    c.rank_of = [home](const Params& p) { return home(p[0]); };
+    c.num_task_inputs = [](const Params&) { return 1; };
+    c.num_outputs = one_output;
+    c.priority = [prio](const Params& p) { return prio.other(p[0]); };
+    const bool psorts = var.parallel_sorts;
+    c.enumerate_rank = [pl, home, psorts](int rank) {
+      std::vector<Params> out;
+      for (const Chain& ch : pl->chains) {
+        if (home(ch.id) != rank) continue;
+        if (psorts) {
+          for (size_t i = 0; i < ch.sorts.size(); ++i) {
+            out.push_back(params_of(ch.id, static_cast<int32_t>(i)));
+          }
+        } else {
+          out.push_back(params_of(ch.id));
+        }
+      }
+      return out;
+    };
+    c.body = [pl, psorts](TaskCtx& t) {
+      const Chain& ch = pl->chains[static_cast<size_t>(t.params()[0])];
+      const DataBuf& cin = t.input(0);
+      auto out = ptg::make_buf_pooled(cin->size());
+      if (psorts) {
+        const SortOp& so = ch.sorts[static_cast<size_t>(t.params()[1])];
+        linalg::sort_4(cin->data(), out->data(), ch.c_dims, so.perm,
+                       so.factor);
+      } else {
+        // One task, all guarded sorts accumulated into a master Csorted
+        // (Fig. 5): valid because every fired guard targets the same
+        // canonical block.
+        for (const SortOp& so : ch.sorts) {
+          linalg::sort_4_acc(cin->data(), out->data(), ch.c_dims, so.perm,
+                             so.factor);
+        }
+      }
+      t.set_output(0, std::move(out));
+    };
+    b.ids.sort = pool.add_class(std::move(c));
+  }
+  const int16_t sort_id = b.ids.sort;
+
+  // ---- WRITE_C -----------------------------------------------------------
+  {
+    TaskClass c;
+    c.name = var.parallel_writes ? "WRITE_C_i" : "WRITE_C";
+    // Placed on the rank that owns the target block in the GA (Fig. 8).
+    c.rank_of = [pl, st](const Params& p) {
+      const Chain& ch = pl->chains[static_cast<size_t>(p[0])];
+      return (*st)[static_cast<size_t>(ch.r_store)].ga->owner_of(
+          ch.c_offset);
+    };
+    const bool pwrites = var.parallel_writes;
+    const bool psorts = var.parallel_sorts;
+    c.num_task_inputs = [pl, pwrites, psorts](const Params& p) {
+      if (pwrites || !psorts) return 1;
+      return static_cast<int>(
+          pl->chains[static_cast<size_t>(p[0])].sorts.size());
+    };
+    c.num_outputs = [](const Params&) { return 0; };  // sink
+    c.priority = [prio](const Params& p) { return prio.other(p[0]); };
+    c.enumerate_rank = [pl, st, pwrites](int rank) {
+      std::vector<Params> out;
+      for (const Chain& ch : pl->chains) {
+        const TensorStore& ts = (*st)[static_cast<size_t>(ch.r_store)];
+        if (ts.ga->owner_of(ch.c_offset) != rank) continue;
+        if (pwrites) {
+          for (size_t i = 0; i < ch.sorts.size(); ++i) {
+            out.push_back(params_of(ch.id, static_cast<int32_t>(i)));
+          }
+        } else {
+          out.push_back(params_of(ch.id));
+        }
+      }
+      return out;
+    };
+    c.body = [pl, st, write_mutex, pwrites, psorts](TaskCtx& t) {
+      const Chain& ch = pl->chains[static_cast<size_t>(t.params()[0])];
+      const TensorStore& ts = (*st)[static_cast<size_t>(ch.r_store)];
+      // The node-level critical region of Section IV-A: every WRITE on this
+      // rank serializes on one mutex, exactly like the pthread mutex in the
+      // paper's implementation.
+      // mp-lint: allow(lock-in-task-body) — the paper's WRITE critical region
+      std::lock_guard lock(*write_mutex);
+      MP_ANNOTATE_LOCK_ACQUIRED(write_mutex.get());
+      if (pwrites || !psorts) {
+        ga::add_hash_block(*ts.ga, ts.shape->index(), ch.c_key,
+                           t.input(0)->data());
+      } else {
+        for (size_t i = 0; i < ch.sorts.size(); ++i) {
+          ga::add_hash_block(*ts.ga, ts.shape->index(), ch.c_key,
+                             t.input(static_cast<int>(i))->data());
+        }
+      }
+      MP_ANNOTATE_LOCK_RELEASED(write_mutex.get());
+    };
+    b.ids.write = pool.add_class(std::move(c));
+  }
+  const int16_t write_id = b.ids.write;
+
+  // ---- dataflow wiring ----------------------------------------------------
+  // Route the chain result (from the last GEMM of a serial chain, the
+  // reduction root, or the single GEMM of a length-1 chain) into the sort
+  // stage.
+  auto route_to_sorts = [pl, sort_id, psorts = var.parallel_sorts](
+                            int l1, std::vector<OutRoute>& r) {
+    const Chain& ch = pl->chains[static_cast<size_t>(l1)];
+    if (psorts) {
+      for (size_t i = 0; i < ch.sorts.size(); ++i) {
+        r.push_back({TaskKey{sort_id, params_of(l1, static_cast<int32_t>(i))},
+                     0, 0});
+      }
+    } else {
+      r.push_back({TaskKey{sort_id, params_of(l1)}, 0, 0});
+    }
+  };
+
+  pool.mutable_cls(b.ids.read_a).route_outputs =
+      [gemm_id](const Params& p, std::vector<OutRoute>& r) {
+        r.push_back({TaskKey{gemm_id, p}, 0, 0});
+      };
+  pool.mutable_cls(b.ids.read_b).route_outputs =
+      [gemm_id](const Params& p, std::vector<OutRoute>& r) {
+        r.push_back({TaskKey{gemm_id, p}, 1, 0});
+      };
+
+  if (b.ids.dfill >= 0) {
+    pool.mutable_cls(b.ids.dfill).route_outputs =
+        [gemm_id](const Params& p, std::vector<OutRoute>& r) {
+          r.push_back({TaskKey{gemm_id, params_of(p[0], 0)}, 2, 0});
+        };
+  }
+
+  pool.mutable_cls(gemm_id).route_outputs =
+      [pl, gemm_id, reduce_id, route_to_sorts,
+       parallel = var.parallel_gemms](const Params& p,
+                                      std::vector<OutRoute>& r) {
+        const Chain& ch = pl->chains[static_cast<size_t>(p[0])];
+        const int len = static_cast<int>(ch.gemms.size());
+        if (!parallel) {
+          // Serial chain: C flows to the next GEMM, the last one feeds the
+          // sort stage (the dataflow of Fig. 1).
+          if (p[1] < len - 1) {
+            r.push_back({TaskKey{gemm_id, params_of(p[0], p[1] + 1)}, 2, 0});
+          } else {
+            route_to_sorts(p[0], r);
+          }
+          return;
+        }
+        if (len == 1) {
+          route_to_sorts(p[0], r);
+          return;
+        }
+        // Parallel GEMMs: partial C goes into the reduction tree (Fig. 2 /
+        // Fig. 4).
+        const ReduceTree tree{len};
+        const int pos = tree.leaf_pos(p[1]);
+        r.push_back({TaskKey{reduce_id, params_of(p[0], tree.parent_of(pos))},
+                     static_cast<int8_t>(tree.slot_of(pos)), 0});
+      };
+
+  if (reduce_id >= 0) {
+    pool.mutable_cls(reduce_id).route_outputs =
+        [pl, reduce_id, route_to_sorts](const Params& p,
+                                        std::vector<OutRoute>& r) {
+          const Chain& ch = pl->chains[static_cast<size_t>(p[0])];
+          const ReduceTree tree{static_cast<int>(ch.gemms.size())};
+          if (p[1] == 0) {
+            route_to_sorts(p[0], r);
+          } else {
+            r.push_back(
+                {TaskKey{reduce_id, params_of(p[0], tree.parent_of(p[1]))},
+                 static_cast<int8_t>(tree.slot_of(p[1])), 0});
+          }
+        };
+  }
+
+  pool.mutable_cls(sort_id).route_outputs =
+      [write_id, pwrites = var.parallel_writes,
+       psorts = var.parallel_sorts](const Params& p,
+                                    std::vector<OutRoute>& r) {
+        if (pwrites) {
+          r.push_back({TaskKey{write_id, p}, 0, 0});
+        } else if (psorts) {
+          r.push_back({TaskKey{write_id, params_of(p[0])},
+                       static_cast<int8_t>(p[1]), 0});
+        } else {
+          r.push_back({TaskKey{write_id, params_of(p[0])}, 0, 0});
+        }
+      };
+
+  return b;
+}
+
+}  // namespace mp::tce

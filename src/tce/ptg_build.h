@@ -1,0 +1,41 @@
+// Builds the Parameterized Task Graph for a ChainPlan + variant without
+// executing it. Split out of execute_ptg() so the static verifier
+// (analysis/tce_verify.h, tools/mp-verify) can materialize and check the
+// *exact* taskpool the executor would run — same lambdas, same placement,
+// same dataflow — before a single task body fires.
+#pragma once
+
+#include <cstdint>
+
+#include "ptg/taskpool.h"
+#include "tce/chain_plan.h"
+#include "tce/storage.h"
+#include "tce/variants.h"
+
+namespace mp::tce {
+
+/// Class ids of the registered task classes; -1 where the variant does not
+/// instantiate the class (DFILL only exists for serial chains, REDUCE only
+/// for parallel GEMMs).
+struct PtgClassIds {
+  int16_t read_a = -1;
+  int16_t read_b = -1;
+  int16_t dfill = -1;
+  int16_t gemm = -1;
+  int16_t reduce = -1;
+  int16_t sort = -1;
+  int16_t write = -1;
+};
+
+struct PtgBuild {
+  ptg::Taskpool pool;
+  PtgClassIds ids;
+};
+
+/// Construct the PTG for `plan` under `variant` on `nranks` ranks. The
+/// returned taskpool's lambdas capture `plan` and `stores` by reference:
+/// both must outlive the taskpool (and any Context running it).
+PtgBuild build_ptg(const ChainPlan& plan, const StoreList& stores,
+                   const VariantConfig& variant, int nranks);
+
+}  // namespace mp::tce

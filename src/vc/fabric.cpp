@@ -41,16 +41,21 @@ const FaultConfig& Fabric::fault_for(int src, int dst) const {
   return cfg_.faults;
 }
 
+// Counter-pair discipline (checked by FabricStats::validate()): the message
+// count goes up first (relaxed), the byte count second with release. stats()
+// reads the byte count first with acquire — so any snapshot that observes
+// bytes also observes the messages they belong to, and "bytes > 0 with
+// messages == 0" can never be seen, even mid-run.
 void Fabric::count_sent(const Message& m) {
   messages_sent_.fetch_add(1, std::memory_order_relaxed);
-  bytes_sent_.fetch_add(m.payload.size(), std::memory_order_relaxed);
+  bytes_sent_.fetch_add(m.payload.size(), std::memory_order_release);
 }
 
 void Fabric::deliver(Message m) {
   const size_t bytes = m.payload.size();
   if (!(*mailboxes_)[static_cast<size_t>(m.dst)].push(std::move(m))) {
     messages_dropped_.fetch_add(1, std::memory_order_relaxed);
-    bytes_dropped_.fetch_add(bytes, std::memory_order_relaxed);
+    bytes_dropped_.fetch_add(bytes, std::memory_order_release);
   }
 }
 
@@ -69,12 +74,15 @@ void Fabric::send(Message m) {
         dup = !drop && fc.dup_prob > 0.0 && rng_.next_double() < fc.dup_prob;
       }
       count_sent(m);
+      // Release: a stats() snapshot that observes this fault (acquire load,
+      // read before messages_sent) also observes the count_sent above, so
+      // faults_* <= messages_sent holds in every snapshot.
       if (drop) {
-        faults_dropped_.fetch_add(1, std::memory_order_relaxed);
+        faults_dropped_.fetch_add(1, std::memory_order_release);
         return;
       }
       if (dup) {
-        faults_duplicated_.fetch_add(1, std::memory_order_relaxed);
+        faults_duplicated_.fetch_add(1, std::memory_order_release);
         deliver(m);  // deliberate copy: the duplicate
       }
     } else {
@@ -94,18 +102,18 @@ void Fabric::send(Message m) {
     if (stopping_) {
       // Refused, not sent: shutdown already began.
       messages_dropped_.fetch_add(1, std::memory_order_relaxed);
-      bytes_dropped_.fetch_add(m.payload.size(), std::memory_order_relaxed);
+      bytes_dropped_.fetch_add(m.payload.size(), std::memory_order_release);
       return;
     }
     count_sent(m);
     if (fc.drop_prob > 0.0 && rng_.next_double() < fc.drop_prob) {
-      faults_dropped_.fetch_add(1, std::memory_order_relaxed);
+      faults_dropped_.fetch_add(1, std::memory_order_release);
       return;
     }
     int copies = 1;
     if (fc.dup_prob > 0.0 && rng_.next_double() < fc.dup_prob) {
       copies = 2;
-      faults_duplicated_.fetch_add(1, std::memory_order_relaxed);
+      faults_duplicated_.fetch_add(1, std::memory_order_release);
     }
     const auto now = steady_clock::now();
     for (int i = 0; i < copies; ++i) {
@@ -169,14 +177,19 @@ void Fabric::shutdown() {
 }
 
 FabricStats Fabric::stats() const {
+  // Acquire loads in dependency order: fault and byte counters first (their
+  // increments are release and sequenced after the matching message-count
+  // increment), message counters last. Whatever a snapshot observes, the
+  // counters it is bounded by are observed too — FabricStats::validate()
+  // holds on every snapshot, not just quiescent ones.
   FabricStats s;
-  s.messages_sent = messages_sent_.load();
-  s.bytes_sent = bytes_sent_.load();
-  s.messages_dropped = messages_dropped_.load();
-  s.bytes_dropped = bytes_dropped_.load();
-  s.faults_dropped = faults_dropped_.load();
-  s.faults_duplicated = faults_duplicated_.load();
-  s.faults_reordered = faults_reordered_.load();
+  s.faults_dropped = faults_dropped_.load(std::memory_order_acquire);
+  s.faults_duplicated = faults_duplicated_.load(std::memory_order_acquire);
+  s.faults_reordered = faults_reordered_.load(std::memory_order_acquire);
+  s.bytes_sent = bytes_sent_.load(std::memory_order_acquire);
+  s.bytes_dropped = bytes_dropped_.load(std::memory_order_acquire);
+  s.messages_sent = messages_sent_.load(std::memory_order_acquire);
+  s.messages_dropped = messages_dropped_.load(std::memory_order_acquire);
   return s;
 }
 

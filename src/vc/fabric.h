@@ -16,6 +16,7 @@
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -70,6 +71,38 @@ struct FabricStats {
   uint64_t faults_dropped = 0;
   uint64_t faults_duplicated = 0;
   uint64_t faults_reordered = 0;
+
+  /// Internal-consistency self check. The increment/snapshot ordering in
+  /// Fabric (release on the second counter of each pair, paired acquire
+  /// loads in stats()) makes these hold even for a mid-run snapshot:
+  ///   - every injected drop/dup fault belongs to an accepted message,
+  ///     so faults_dropped <= messages_sent and
+  ///     faults_duplicated <= messages_sent;
+  ///   - bytes are only counted alongside a message, so a nonzero byte
+  ///     counter implies a nonzero message counter.
+  /// Returns an empty string when consistent, else a description of the
+  /// violated invariant (stress tests assert on this).
+  std::string validate() const {
+    if (faults_dropped > messages_sent) {
+      return "FabricStats: faults_dropped (" +
+             std::to_string(faults_dropped) + ") > messages_sent (" +
+             std::to_string(messages_sent) + ")";
+    }
+    if (faults_duplicated > messages_sent) {
+      return "FabricStats: faults_duplicated (" +
+             std::to_string(faults_duplicated) + ") > messages_sent (" +
+             std::to_string(messages_sent) + ")";
+    }
+    if (bytes_sent > 0 && messages_sent == 0) {
+      return "FabricStats: bytes_sent (" + std::to_string(bytes_sent) +
+             ") > 0 with messages_sent == 0";
+    }
+    if (bytes_dropped > 0 && messages_dropped == 0) {
+      return "FabricStats: bytes_dropped (" + std::to_string(bytes_dropped) +
+             ") > 0 with messages_dropped == 0";
+    }
+    return {};
+  }
 };
 
 class Fabric {
@@ -84,10 +117,16 @@ class Fabric {
   void send(Message m);
 
   /// Total messages and bytes that have passed through the fabric.
-  uint64_t messages_sent() const { return messages_sent_.load(); }
-  uint64_t bytes_sent() const { return bytes_sent_.load(); }
+  uint64_t messages_sent() const {
+    return messages_sent_.load(std::memory_order_acquire);
+  }
+  uint64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_acquire);
+  }
   /// Messages the fabric refused (shutdown in progress / mailbox closed).
-  uint64_t messages_dropped() const { return messages_dropped_.load(); }
+  uint64_t messages_dropped() const {
+    return messages_dropped_.load(std::memory_order_acquire);
+  }
 
   /// Full counter snapshot, including the fault-injection block.
   FabricStats stats() const;

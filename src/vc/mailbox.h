@@ -9,6 +9,7 @@
 #include <mutex>
 #include <optional>
 
+#include "support/analysis.h"
 #include "vc/message.h"
 
 namespace mp::vc {
@@ -21,6 +22,9 @@ class Mailbox {
       std::lock_guard lock(mu_);
       if (closed_) return false;
       queue_.push_back(std::move(m));
+      // Happens-before edge for the lifecycle checker: the popper's
+      // channel_recv joins this sender's clock.
+      MP_ANNOTATE_CHANNEL_SEND(this);
     }
     cv_.notify_one();
     return true;
@@ -64,6 +68,7 @@ class Mailbox {
     if (queue_.empty()) return std::nullopt;
     Message m = std::move(queue_.front());
     queue_.pop_front();
+    MP_ANNOTATE_CHANNEL_RECV(this);
     return m;
   }
 

@@ -139,6 +139,9 @@ void run_dag(const StressDag& dag, vc::RankCtx& rctx, Options opts,
 
   Context ctx(rctx, pool, opts);
   ctx.run();
+  // Self-check the scheduler counters on every completed run: the snapshot
+  // must satisfy the SchedStats invariants even right after quiescence.
+  EXPECT_EQ(ctx.scheduler_stats().validate(), "") << "rank " << rctx.rank();
 }
 
 // --- lost activations: the watchdog must end the run, never a hang ---
@@ -175,6 +178,9 @@ TEST(ShutdownStress, DropFaultsEndInCleanStateErrorNotHang) {
         << msg;
   }
   EXPECT_LT(steady_clock::now() - t0, seconds(30));
+  // Even a fault-riddled aborted run must leave the fabric counters
+  // internally consistent (faults <= messages, bytes imply messages).
+  EXPECT_EQ(cluster.fabric().stats().validate(), "");
 }
 
 // --- mixed faults: complete correctly or unwind cleanly, seed sweep ---
@@ -211,6 +217,7 @@ TEST_P(MixedFaultStress, CompletesOrUnwindsCleanly) {
     // diagnosed as a double deposit. Unwinding cleanly is the contract.
   }
   EXPECT_LT(steady_clock::now() - t0, seconds(30));
+  EXPECT_EQ(cluster.fabric().stats().validate(), "") << "seed " << seed;
   if (completed) {
     for (int i = 0; i < dag.width; ++i) {
       EXPECT_DOUBLE_EQ(got[static_cast<size_t>(i)],
@@ -244,6 +251,7 @@ TEST(ShutdownStress, ReorderJitterOnlyComputesCorrectResult) {
     opts.policy = SchedPolicy::kStealing;
     run_dag(dag, rctx, opts, &got, &mu);
   });
+  EXPECT_EQ(cluster.fabric().stats().validate(), "");
   for (int i = 0; i < dag.width; ++i) {
     EXPECT_DOUBLE_EQ(got[static_cast<size_t>(i)],
                      expected[static_cast<size_t>(dag.layers - 1)]
@@ -317,6 +325,7 @@ TEST(ShutdownStress, RepeatedLifecyclesQuiesceCleanly) {
       opts.num_workers = 2;
       run_dag(dag, rctx, opts, &got, &mu);
     });
+    EXPECT_EQ(cluster.fabric().stats().validate(), "") << "iter " << iter;
     // Cluster + Fabric destructors run here; a stuck delivery or comm
     // thread would hang the test.
   }

@@ -1,0 +1,326 @@
+// Tests for the mp-verify static passes (analysis/): positive runs over
+// every variant and workload must verify clean, and seeded corruptions —
+// dropped edges, duplicate writers, broken reduction fan-in, leaked
+// buffers, cycles, duplicate tasks — must each be detected with their
+// distinct stable diagnostic code.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "analysis/graph_verify.h"
+#include "analysis/plan_verify.h"
+#include "analysis/tce_verify.h"
+#include "ga/global_array.h"
+#include "ptg/context.h"
+#include "support/error.h"
+#include "tce/inspector.h"
+#include "tce/ptg_build.h"
+#include "tce/ptg_exec.h"
+#include "tce/storage.h"
+#include "tce/variants.h"
+#include "vc/cluster.h"
+
+namespace mp {
+namespace {
+
+using analysis::has_code;
+using tce::RangeKind;
+
+tce::TileSpaceSpec small_spec() {
+  tce::TileSpaceSpec s;
+  s.n_occ_alpha = 3;
+  s.n_occ_beta = 3;
+  s.n_virt_alpha = 5;
+  s.n_virt_beta = 5;
+  s.tile_size = 2;
+  return s;
+}
+
+/// Owns the t2_7 workload every test verifies against: tile space, shapes,
+/// (unfilled) Global Arrays, inspected plan. Cheap enough to build per test.
+struct Workload {
+  explicit Workload(int nranks = 3, tce::TileSpaceSpec spec = small_spec())
+      : cluster(nranks),
+        space(spec),
+        v(space, {RangeKind::kVirt, RangeKind::kVirt, RangeKind::kVirt,
+                  RangeKind::kVirt}),
+        t(space, {RangeKind::kVirt, RangeKind::kVirt, RangeKind::kOcc,
+                  RangeKind::kOcc}),
+        r(space,
+          {RangeKind::kVirt, RangeKind::kVirt, RangeKind::kOcc,
+           RangeKind::kOcc},
+          true, true),
+        v_ga(&cluster, v.ga_size()),
+        t_ga(&cluster, t.ga_size()),
+        r_ga(&cluster, r.ga_size()),
+        plan(tce::inspect_t2_7(space, {&v, &t, &r})),
+        stores({{&v, &v_ga}, {&t, &t_ga}, {&r, &r_ga}}) {}
+
+  vc::Cluster cluster;
+  tce::TileSpace space;
+  tce::BlockTensor4 v, t, r;
+  ga::GlobalArray v_ga, t_ga, r_ga;
+  tce::ChainPlan plan;
+  tce::StoreList stores;
+};
+
+/// First chain with at least two GEMMs (needed by the corruption tests).
+const tce::Chain& long_chain(const tce::ChainPlan& plan) {
+  for (const auto& ch : plan.chains) {
+    if (ch.gemms.size() >= 2) return ch;
+  }
+  throw StateError("test workload has no multi-GEMM chain");
+}
+
+// ---- positive: every variant of every workload verifies clean -------------
+
+TEST(VerifyClean, AllVariantsOnT27) {
+  Workload w;
+  for (const auto& var : tce::VariantConfig::all()) {
+    const auto rep = analysis::verify_variant(w.plan, w.stores, var, 3);
+    EXPECT_TRUE(rep.clean()) << var.name << ":\n"
+                             << analysis::render(rep.diags);
+    EXPECT_GT(rep.num_tasks, 0u) << var.name;
+    EXPECT_GT(rep.num_edges, 0u) << var.name;
+  }
+}
+
+TEST(VerifyClean, AllVariantsOnIrrepsWorkload) {
+  tce::TileSpaceSpec spec = small_spec();
+  spec.n_virt_alpha = 6;
+  spec.n_virt_beta = 6;
+  spec.num_irreps = 4;
+  Workload w(3, spec);
+  for (const auto& var : tce::VariantConfig::all()) {
+    const auto rep = analysis::verify_variant(w.plan, w.stores, var, 3);
+    EXPECT_TRUE(rep.clean()) << var.name << ":\n"
+                             << analysis::render(rep.diags);
+  }
+}
+
+TEST(VerifyClean, HhLadderAndFused) {
+  Workload base;
+  tce::BlockTensor4 wshape(base.space, {RangeKind::kOcc, RangeKind::kOcc,
+                                        RangeKind::kOcc, RangeKind::kOcc});
+  ga::GlobalArray w_ga(&base.cluster, wshape.ga_size());
+  const auto hh =
+      tce::inspect_hh_ladder(base.space, {&wshape, &base.t, &base.r});
+  const tce::StoreList hh_stores = {
+      {&wshape, &w_ga}, {&base.t, &base.t_ga}, {&base.r, &base.r_ga}};
+
+  const auto fused = tce::fuse_plans(base.plan, hh, {3, 1, 2});
+  tce::StoreList fused_stores = base.stores;
+  fused_stores.push_back({&wshape, &w_ga});
+
+  for (const auto& var : tce::VariantConfig::all()) {
+    const auto hh_rep = analysis::verify_variant(hh, hh_stores, var, 3);
+    EXPECT_TRUE(hh_rep.clean()) << "hh_ladder " << var.name << ":\n"
+                                << analysis::render(hh_rep.diags);
+    const auto fu_rep = analysis::verify_variant(fused, fused_stores, var, 3);
+    EXPECT_TRUE(fu_rep.clean()) << "fused " << var.name << ":\n"
+                                << analysis::render(fu_rep.diags);
+  }
+}
+
+TEST(VerifyClean, VariousRankCounts) {
+  Workload w(1);
+  for (int nranks : {1, 2, 5}) {
+    const auto rep = analysis::verify_variant(w.plan, w.stores,
+                                              tce::VariantConfig::v5(), nranks);
+    EXPECT_TRUE(rep.clean()) << "nranks=" << nranks << ":\n"
+                             << analysis::render(rep.diags);
+  }
+}
+
+// ---- plan-layer corruptions ----------------------------------------------
+
+TEST(VerifyNegative, DroppedGemmLinkIsMPP003) {
+  Workload w;
+  tce::ChainPlan bad = w.plan;
+  for (auto& ch : bad.chains) {
+    if (ch.gemms.size() >= 2) {
+      ch.gemms.erase(ch.gemms.begin() + 1);  // L2 sequence now 0,2,3,...
+      break;
+    }
+  }
+  const auto diags = analysis::verify_plan(bad);
+  ASSERT_FALSE(diags.empty());
+  EXPECT_TRUE(has_code(diags, "MPP003")) << analysis::render(diags);
+  EXPECT_TRUE(analysis::verify_plan(w.plan).empty()) << "pristine plan dirty";
+}
+
+TEST(VerifyNegative, DuplicateChainWriterIsMPP002) {
+  Workload w;
+  tce::ChainPlan bad = w.plan;
+  tce::Chain dup = bad.chains.front();  // same c_key, same store triple
+  dup.id = static_cast<int>(bad.chains.size());
+  bad.chains.push_back(dup);
+  const auto diags = analysis::verify_plan(bad);
+  EXPECT_TRUE(has_code(diags, "MPP002")) << analysis::render(diags);
+}
+
+// ---- graph-layer corruptions ---------------------------------------------
+
+TEST(VerifyNegative, DroppedEdgeIsMPV007) {
+  Workload w;
+  auto build = tce::build_ptg(w.plan, w.stores, tce::VariantConfig::v3(), 3);
+  // Drop one READ_A instance outright: its GEMM's slot 0 is never fed.
+  const auto victim = ptg::params_of(long_chain(w.plan).id, 0);
+  auto& cls = build.pool.mutable_cls(build.ids.read_a);
+  const auto old_enum = cls.enumerate_rank;
+  cls.enumerate_rank = [old_enum, victim](int rank) {
+    auto out = old_enum(rank);
+    std::erase(out, victim);
+    return out;
+  };
+  const auto diags = analysis::verify_graph(build.pool, 3);
+  EXPECT_TRUE(has_code(diags, "MPV007")) << analysis::render(diags);
+  EXPECT_FALSE(has_code(diags, "MPV001")) << "dropped edge is not a cycle";
+}
+
+TEST(VerifyNegative, DuplicateEdgeIsMPV006) {
+  Workload w;
+  auto build = tce::build_ptg(w.plan, w.stores, tce::VariantConfig::v3(), 3);
+  // READ_A of one instance deposits its output twice into the same slot.
+  const auto victim = ptg::params_of(long_chain(w.plan).id, 0);
+  auto& cls = build.pool.mutable_cls(build.ids.read_a);
+  const auto old_routes = cls.route_outputs;
+  cls.route_outputs = [old_routes, victim](const ptg::Params& p,
+                                           std::vector<ptg::OutRoute>& r) {
+    old_routes(p, r);
+    if (p == victim) old_routes(p, r);  // duplicate deposit
+  };
+  const auto diags = analysis::verify_graph(build.pool, 3);
+  EXPECT_TRUE(has_code(diags, "MPV006")) << analysis::render(diags);
+}
+
+TEST(VerifyNegative, LeakedDataBufIsMPV010) {
+  Workload w;
+  auto build = tce::build_ptg(w.plan, w.stores, tce::VariantConfig::v2(), 3);
+  // One SORT instance declares an output but routes it nowhere: its DataBuf
+  // retain would never be released by a consumer.
+  const auto victim = ptg::params_of(long_chain(w.plan).id);
+  auto& cls = build.pool.mutable_cls(build.ids.sort);
+  const auto old_routes = cls.route_outputs;
+  cls.route_outputs = [old_routes, victim](const ptg::Params& p,
+                                           std::vector<ptg::OutRoute>& r) {
+    if (p == victim) return;  // leak: declared output, no consumer
+    old_routes(p, r);
+  };
+  const auto diags = analysis::verify_graph(build.pool, 3);
+  EXPECT_TRUE(has_code(diags, "MPV010")) << analysis::render(diags);
+}
+
+TEST(VerifyNegative, CycleIsMPV001) {
+  Workload w;
+  auto build = tce::build_ptg(w.plan, w.stores, tce::VariantConfig::v2(), 3);
+  // Close a loop: READ_A(c,0) now waits on an input that SORT(c) provides,
+  // so READ_A -> GEMM -> ... -> SORT -> READ_A can never start. Every slot
+  // is fed (no dropped edge), so this must be reported as a cycle.
+  const auto ra_victim = ptg::params_of(long_chain(w.plan).id, 0);
+  auto& ra = build.pool.mutable_cls(build.ids.read_a);
+  const auto old_inputs = ra.num_task_inputs;
+  ra.num_task_inputs = [old_inputs, ra_victim](const ptg::Params& p) {
+    return p == ra_victim ? 1 : old_inputs(p);
+  };
+  auto& sort = build.pool.mutable_cls(build.ids.sort);
+  const auto old_routes = sort.route_outputs;
+  const auto read_a_id = build.ids.read_a;
+  sort.route_outputs = [old_routes, ra_victim, read_a_id](
+                           const ptg::Params& p,
+                           std::vector<ptg::OutRoute>& r) {
+    old_routes(p, r);
+    if (p[0] == ra_victim[0]) {
+      r.push_back({ptg::TaskKey{read_a_id, ra_victim}, 0, 0});
+    }
+  };
+  const auto diags = analysis::verify_graph(build.pool, 3);
+  EXPECT_TRUE(has_code(diags, "MPV001")) << analysis::render(diags);
+}
+
+TEST(VerifyNegative, DuplicateTaskIsMPV002) {
+  Workload w;
+  auto build = tce::build_ptg(w.plan, w.stores, tce::VariantConfig::v5(), 3);
+  auto& cls = build.pool.mutable_cls(build.ids.gemm);
+  const auto old_enum = cls.enumerate_rank;
+  cls.enumerate_rank = [old_enum](int rank) {
+    auto out = old_enum(rank);
+    if (rank == 0 && !out.empty()) out.push_back(out.front());
+    return out;
+  };
+  const auto diags = analysis::verify_graph(build.pool, 3);
+  EXPECT_TRUE(has_code(diags, "MPV002")) << analysis::render(diags);
+}
+
+// ---- TCE-layer corruption ------------------------------------------------
+
+TEST(VerifyNegative, BadReductionFanInIsMPT001) {
+  Workload w;
+  const auto var = tce::VariantConfig::v3();
+  auto build = tce::build_ptg(w.plan, w.stores, var, 3);
+  // Drop one REDUCE node of a multi-GEMM chain: the reduction tree no
+  // longer matches the chain's segmentation (len leaves need len-1 nodes).
+  const auto victim = ptg::params_of(long_chain(w.plan).id, 0);
+  auto& cls = build.pool.mutable_cls(build.ids.reduce);
+  const auto old_enum = cls.enumerate_rank;
+  cls.enumerate_rank = [old_enum, victim](int rank) {
+    auto out = old_enum(rank);
+    std::erase(out, victim);
+    return out;
+  };
+  const auto graph = analysis::materialize_graph(build.pool, 3);
+  const auto diags = analysis::verify_tce_graph(w.plan, var, build, graph);
+  EXPECT_TRUE(has_code(diags, "MPT001")) << analysis::render(diags);
+}
+
+// ---- runtime integration: Context::validate_plan + the MP_VERIFY gate ----
+
+TEST(MpVerifyGate, ValidatePlanIsCleanOnHealthyGraph) {
+  Workload w(1);
+  auto build = tce::build_ptg(w.plan, w.stores, tce::VariantConfig::v5(), 1);
+  w.cluster.run([&](vc::RankCtx& rctx) {
+    ptg::Context ctx(rctx, build.pool);
+    const auto diags = ctx.validate_plan();
+    EXPECT_TRUE(diags.empty()) << analysis::render(diags);
+  });
+}
+
+TEST(MpVerifyGate, RunAbortsOnCorruptGraphWhenEnvSet) {
+  Workload w(1);
+  auto build = tce::build_ptg(w.plan, w.stores, tce::VariantConfig::v5(), 1);
+  // Same corruption as DroppedEdgeIsMPV007: without the gate this graph
+  // would deadlock the runtime (GEMM waits forever); with MP_VERIFY set
+  // run() must refuse to start executing at all.
+  const auto victim = ptg::params_of(long_chain(w.plan).id, 0);
+  auto& cls = build.pool.mutable_cls(build.ids.read_a);
+  const auto old_enum = cls.enumerate_rank;
+  cls.enumerate_rank = [old_enum, victim](int rank) {
+    auto out = old_enum(rank);
+    std::erase(out, victim);
+    return out;
+  };
+  ::setenv("MP_VERIFY", "1", 1);
+  w.cluster.run([&](vc::RankCtx& rctx) {
+    ptg::Context ctx(rctx, build.pool);
+    EXPECT_THROW(ctx.run(), StateError);
+  });
+  ::unsetenv("MP_VERIFY");
+}
+
+TEST(MpVerifyGate, HealthyExecutionPassesWithEnvSet) {
+  Workload w(2);
+  ::setenv("MP_VERIFY", "1", 1);
+  tce::PtgExecOptions opts;
+  opts.variant = tce::VariantConfig::v3();
+  opts.workers_per_rank = 2;
+  w.cluster.run([&](vc::RankCtx& rctx) {
+    const auto res = tce::execute_ptg(rctx, w.plan, w.stores, opts);
+    EXPECT_GT(res.tasks_executed, 0u);
+  });
+  ::unsetenv("MP_VERIFY");
+}
+
+}  // namespace
+}  // namespace mp

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Project lint: enforces repo invariants the compiler cannot.
+
+Part of the static-analysis gate (ctest -L analysis, test name lint_py).
+Checks, each with a stable rule id:
+
+  raw-databuf-new        DataBuf vectors must come from make_buf /
+                         make_buf_pooled (src/ptg/types.h), never a raw
+                         `new std::vector<double>` — otherwise the pool
+                         recycling and the MP_ANALYSIS lifecycle tracking
+                         are silently bypassed.
+  lock-in-task-body      No lock acquisition inside a `.body = [...]` task
+                         lambda: task bodies must be lock-free so the
+                         scheduler can never deadlock through user code.
+                         Waiver: a `// mp-lint: allow(lock-in-task-body)`
+                         comment inside the body (the paper's WRITE
+                         critical region carries one).
+  pragma-once            Every header under src/ starts its preprocessor
+                         life with #pragma once.
+  iostream-in-header     No <iostream> in src/ headers (drags in static
+                         init order and bloats every TU; use <cstdio> or
+                         support/log.h in .cpp files).
+  include-count          At most MAX_INCLUDES includes per src/ file —
+                         a growing include list marks a layering problem.
+  using-namespace-std    `using namespace std;` is banned everywhere.
+
+Exit status: 0 clean, 1 findings, 2 internal error.
+Usage: tools/lint.py [--tidy] [paths...]   (default: src/)
+"""
+
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+MAX_INCLUDES = 30
+
+RAW_NEW_RE = re.compile(r"\bnew\s+std::vector<\s*double\s*>")
+LOCK_RE = re.compile(
+    r"\b(?:std::)?(?:lock_guard|unique_lock|scoped_lock)\b|\.lock\(\)")
+BODY_RE = re.compile(r"\bbody\s*=\s*\[")
+WAIVER = "mp-lint: allow(lock-in-task-body)"
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string literals, preserving offsets."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append(" ".join("\n" if ch == "\n" else " " for ch in [])
+                       or "".join("\n" if ch == "\n" else " "
+                                  for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(c + " " * (j - i - 2) + (c if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def lambda_span(code, start):
+    """[start, end) of the lambda body whose `[` capture begins at start."""
+    brace = code.find("{", start)
+    if brace < 0:
+        return start, start
+    depth, i = 0, brace
+    while i < len(code):
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return brace, i + 1
+        i += 1
+    return brace, len(code)
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def lint_file(path, findings):
+    try:
+        rel = path.relative_to(REPO)
+    except ValueError:  # explicit path outside the repo: lint it fully
+        rel = path
+    text = path.read_text(encoding="utf-8", errors="replace")
+    code = strip_comments_and_strings(text)
+    in_src = "src" in rel.parts
+    is_header = path.suffix == ".h"
+
+    for m in re.finditer(r"using\s+namespace\s+std\s*;", code):
+        findings.append((rel, line_of(text, m.start()), "using-namespace-std",
+                         "`using namespace std;` is banned"))
+
+    if str(rel) != "src/ptg/types.h":
+        for m in RAW_NEW_RE.finditer(code):
+            findings.append(
+                (rel, line_of(text, m.start()), "raw-databuf-new",
+                 "raw `new std::vector<double>`; use make_buf/"
+                 "make_buf_pooled (src/ptg/types.h)"))
+
+    if in_src:
+        for m in BODY_RE.finditer(code):
+            lo, hi = lambda_span(code, m.end() - 1)
+            body_code = code[lo:hi]
+            lock = LOCK_RE.search(body_code)
+            if lock and WAIVER not in text[lo:hi]:
+                findings.append(
+                    (rel, line_of(text, lo + lock.start()),
+                     "lock-in-task-body",
+                     "lock acquisition inside a task body; task bodies "
+                     "must be lock-free (waiver: // " + WAIVER + ")"))
+
+        n_includes = len(re.findall(r"^\s*#\s*include\b", code, re.M))
+        if n_includes > MAX_INCLUDES:
+            findings.append(
+                (rel, 1, "include-count",
+                 f"{n_includes} includes (max {MAX_INCLUDES}); "
+                 "split the file or trim the interface"))
+
+        if is_header:
+            first_directive = re.search(r"^\s*#\s*(\w+)", code, re.M)
+            if not first_directive or first_directive.group(1) != "pragma" \
+                    or "#pragma once" not in code:
+                findings.append((rel, 1, "pragma-once",
+                                 "header must start with #pragma once"))
+            if re.search(r"#\s*include\s*<iostream>", code):
+                findings.append(
+                    (rel, line_of(text,
+                                  code.find("<iostream>")),
+                     "iostream-in-header",
+                     "<iostream> in a src/ header; use <cstdio> or "
+                     "support/log.h in the .cpp"))
+
+
+def run_tidy():
+    tidy = shutil.which("clang-tidy")
+    if not tidy:
+        print("lint.py --tidy: clang-tidy not found on this host; skipped")
+        return 0
+    sources = sorted(str(p) for p in (REPO / "src").rglob("*.cpp"))
+    r = subprocess.run([tidy, "-p", str(REPO / "build"), *sources],
+                       cwd=REPO)
+    return r.returncode
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    roots = ([pathlib.Path(a) if pathlib.Path(a).is_absolute() else REPO / a
+              for a in args] if args else [REPO / "src"])
+    files = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        else:
+            files.extend(sorted(root.rglob("*.h")))
+            files.extend(sorted(root.rglob("*.cpp")))
+    findings = []
+    for f in files:
+        lint_file(f, findings)
+    for rel, line, rule, msg in findings:
+        print(f"{rel}:{line}: [{rule}] {msg}")
+    if "--tidy" in argv and run_tidy() != 0:
+        return 1
+    if findings:
+        print(f"lint.py: {len(findings)} finding(s) in {len(files)} files")
+        return 1
+    print(f"lint.py: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
