@@ -1,0 +1,73 @@
+#include "ga/migration.h"
+
+#include <sstream>
+
+namespace mp::ga {
+
+void MigrationLedger::migrated(const ptg::TaskKey& key, int home,
+                               int holder) {
+  {
+    std::lock_guard lock(mu_);
+    live_[Key{key, home}] = holder;
+  }
+  recorded_.fetch_add(1, std::memory_order_release);
+}
+
+void MigrationLedger::credited(const ptg::TaskKey& key, int home,
+                               int holder) {
+  bool retired = false;
+  {
+    std::lock_guard lock(mu_);
+    auto it = live_.find(Key{key, home});
+    // Tolerate a credit whose holder no longer matches (the entry is the
+    // latest migration of the key); a credit with no entry at all is
+    // counted anyway so validate() can flag the imbalance.
+    (void)holder;
+    if (it != live_.end()) {
+      live_.erase(it);
+      retired = true;
+    }
+  }
+  (void)retired;
+  completed_.fetch_add(1, std::memory_order_release);
+}
+
+int MigrationLedger::holder_of(const ptg::TaskKey& key, int home) const {
+  std::lock_guard lock(mu_);
+  const auto it = live_.find(Key{key, home});
+  return it != live_.end() ? it->second : home;
+}
+
+size_t MigrationLedger::in_flight() const {
+  std::lock_guard lock(mu_);
+  return live_.size();
+}
+
+std::string MigrationLedger::validate() const {
+  // Read completed first (acquire): its increments are release-ordered
+  // after the matching recorded increment, so completed <= recorded holds
+  // in any snapshot.
+  const uint64_t done = completed_.load(std::memory_order_acquire);
+  const uint64_t rec = recorded_.load(std::memory_order_acquire);
+  if (done > rec) {
+    return "MigrationLedger: completed (" + std::to_string(done) +
+           ") > recorded (" + std::to_string(rec) + ")";
+  }
+  std::lock_guard lock(mu_);
+  if (live_.size() > rec) {
+    return "MigrationLedger: live entries (" + std::to_string(live_.size()) +
+           ") > recorded (" + std::to_string(rec) + ")";
+  }
+  return {};
+}
+
+std::string MigrationLedger::describe() const {
+  const size_t inflight = in_flight();
+  if (inflight == 0 && recorded() == 0) return {};
+  std::ostringstream os;
+  os << "migrations recorded=" << recorded() << " credited=" << completed()
+     << " in_flight=" << inflight;
+  return os.str();
+}
+
+}  // namespace mp::ga

@@ -1,0 +1,82 @@
+// Ownership-transfer ledger for inter-node work stealing. The ga layer is
+// where placement lives (GlobalArray::owner_of, the tce rank_of formulas
+// derived from block ownership), so it also records which rank currently
+// *holds* a task that stealing moved away from its home: while a migration
+// is in flight, holder_of() answers coherently where rank_of alone would
+// point at the (now idle) home rank. Entries are created on the victim when
+// a task is handed to the fabric and retired when the thief's completion
+// credit arrives, mirroring the runtime's credit-based termination scheme.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "ptg/context.h"
+#include "ptg/types.h"
+
+namespace mp::ga {
+
+/// Thread-safe registry of in-flight task migrations, one per process
+/// (shared by every rank of the virtual cluster, keyed by home rank).
+/// Implements ptg::MigrationObserver so a ptg::Context can feed it through
+/// Options::migration_observer without the ptg layer depending on ga.
+class MigrationLedger final : public ptg::MigrationObserver {
+ public:
+  /// Victim side: `key` (homed on `home`) was shipped to `holder`.
+  void migrated(const ptg::TaskKey& key, int home, int holder) override;
+
+  /// Victim side: the thief's credit arrived — the migrated task finished.
+  void credited(const ptg::TaskKey& key, int home, int holder) override;
+
+  /// Current holder of a task: the thief's rank while the migration is in
+  /// flight, else `home` (rank_of stays authoritative for anything never
+  /// stolen or already credited).
+  int holder_of(const ptg::TaskKey& key, int home) const;
+
+  /// Migrations recorded but not yet credited.
+  size_t in_flight() const;
+
+  uint64_t recorded() const {
+    return recorded_.load(std::memory_order_acquire);
+  }
+  uint64_t completed() const {
+    return completed_.load(std::memory_order_acquire);
+  }
+
+  /// Internal-consistency self check; "" when consistent. Mirrors the
+  /// counter-pair discipline of the runtime stats: a credit always retires
+  /// a recorded migration, so completed <= recorded and the live map holds
+  /// exactly the difference once quiescent.
+  std::string validate() const;
+
+  /// One-line summary for watchdog dumps: cumulative recorded/credited
+  /// counts plus the in-flight backlog. "" only while no migration has
+  /// ever been recorded, so a dump can tell "stealing idle" apart from
+  /// "stealing ran and drained".
+  std::string describe() const override;
+
+ private:
+  struct Key {
+    ptg::TaskKey key;
+    int home;
+    bool operator==(const Key& o) const {
+      return home == o.home && key == o.key;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return ptg::TaskKeyHash{}(k.key) * 31u +
+             static_cast<size_t>(k.home + 1);
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, int, KeyHash> live_;  ///< -> holder rank
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> completed_{0};
+};
+
+}  // namespace mp::ga

@@ -1,5 +1,6 @@
 #include "ptg/context.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 #include <thread>
@@ -23,6 +24,29 @@ Context::Context(vc::RankCtx& rank_ctx, const Taskpool& pool, Options opts)
   pool_.validate();
   sched_ = Scheduler::create(opts_.policy, opts_.num_workers);
   worker_events_.resize(static_cast<size_t>(opts_.num_workers));
+  load_hints_.assign(static_cast<size_t>(nranks()), -1);
+  steal_rng_ = Rng(opts_.steal_seed ^
+                   (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(rank() + 1)));
+  if (rank() == 0) {
+    rank_done_seen_.assign(static_cast<size_t>(nranks()), 0);
+  }
+}
+
+StealStats Context::steal_stats() const {
+  // Counter-pair discipline (cf. FabricStats/SchedStats): each bounded
+  // counter is read with acquire BEFORE the counter that bounds it, and its
+  // increments are release-ordered after the bound's, so validate() holds
+  // on a mid-run snapshot.
+  StealStats s;
+  s.credits_received = st_credits_received_.load(std::memory_order_acquire);
+  s.credits_sent = st_credits_sent_.load(std::memory_order_acquire);
+  s.tasks_migrated_out = st_migrated_out_.load(std::memory_order_acquire);
+  s.tasks_migrated_in = st_migrated_in_.load(std::memory_order_acquire);
+  s.replies_received = st_replies_received_.load(std::memory_order_acquire);
+  s.replies_sent = st_replies_sent_.load(std::memory_order_acquire);
+  s.requests_received = st_requests_received_.load(std::memory_order_acquire);
+  s.requests_sent = st_requests_sent_.load(std::memory_order_acquire);
+  return s;
 }
 
 std::vector<analysis::Diag> Context::validate_plan() const {
@@ -159,6 +183,9 @@ void Context::execute_task(ReadyTask t, int wid) {
         deposit(r.consumer, r.in_slot, buf, &batch);
       } else {
         vc::WireWriter w;
+        // Load hint piggybacked on every activation: receivers feed it to
+        // their steal agent's victim selection.
+        w.put<int64_t>(static_cast<int64_t>(sched_->size()));
         w.put<int16_t>(r.consumer.cls);
         for (int32_t x : r.consumer.p) w.put<int32_t>(x);
         w.put<int8_t>(r.in_slot);
@@ -190,9 +217,244 @@ void Context::execute_task(ReadyTask t, int wid) {
 
   MP_ANNOTATE_TASK_END();
   progress_.fetch_add(1, std::memory_order_relaxed);
-  if (executed_.fetch_add(1, std::memory_order_acq_rel) + 1 == expected_) {
+  if (t.origin >= 0 && t.origin != rank()) {
+    // A migrated-in task: its completion belongs to the home rank's
+    // termination count. Send a credit instead of counting it here.
+    vc::WireWriter w;
+    w.put<int64_t>(static_cast<int64_t>(sched_->size()));
+    w.put<int16_t>(t.key.cls);
+    for (int32_t x : t.key.p) w.put<int32_t>(x);
+    vc::Message m;
+    m.src = rank();
+    m.dst = t.origin;
+    m.tag = kTagCredit;
+    m.payload = w.take();
+    {
+      std::lock_guard lock(out_mu_);
+      outbox_.push_back(std::move(m));
+    }
+    foreign_pending_.fetch_sub(1, std::memory_order_relaxed);
+    // Release after the migrated-in count it is bounded by (the bound was
+    // incremented before this task was even visible to pop).
+    st_credits_sent_.fetch_add(1, std::memory_order_release);
+    return;
+  }
+  executed_.fetch_add(1, std::memory_order_acq_rel);
+  maybe_local_complete();
+}
+
+void Context::maybe_local_complete() {
+  // Each own task bumps exactly one of executed_ / st_credits_received_, so
+  // the sum is monotone and can never transiently exceed expected_.
+  if (executed_.load(std::memory_order_acquire) +
+          st_credits_received_.load(std::memory_order_acquire) !=
+      expected_) {
+    return;
+  }
+  if (local_complete_.exchange(true, std::memory_order_acq_rel)) return;
+  if (!stealing_active()) {
     done_.store(true, std::memory_order_release);
     wake_all();
+    return;
+  }
+  // Global termination: report local completion to the coordinator. This
+  // rank keeps its comm thread (and steal agent) running until JOB_DONE —
+  // an idle-but-done rank still serves and issues steals.
+  if (rank() == 0) {
+    note_rank_done(0);
+  } else {
+    rctx_.send(0, kTagLocalDone, {});
+  }
+}
+
+bool Context::note_rank_done(int r) {
+  bool broadcast = false;
+  {
+    std::lock_guard lock(term_mu_);
+    if (r < 0 || static_cast<size_t>(r) >= rank_done_seen_.size() ||
+        rank_done_seen_[static_cast<size_t>(r)]) {
+      return false;
+    }
+    rank_done_seen_[static_cast<size_t>(r)] = 1;
+    broadcast = ++ranks_done_count_ == nranks();
+  }
+  if (broadcast) {
+    // Every rank is locally done; by the credit scheme no migrated task is
+    // uncounted anywhere, so the whole DAG has executed.
+    for (int p = 1; p < nranks(); ++p) rctx_.send(p, kTagJobDone, {});
+    done_.store(true, std::memory_order_release);
+    wake_all();
+  }
+  return true;
+}
+
+namespace {
+
+std::chrono::microseconds ms_to_us(double v) {
+  return std::chrono::microseconds(static_cast<int64_t>(v * 1000.0));
+}
+
+}  // namespace
+
+void Context::steal_agent_tick(std::chrono::steady_clock::time_point now_tp) {
+  if (done_.load(std::memory_order_acquire)) return;
+  if (steal_outstanding_.load(std::memory_order_relaxed) != 0) {
+    if (now_tp < steal_reply_deadline_) return;
+    // The reply was probably lost in the fabric; allow a fresh request. A
+    // late reply, should it still arrive, is absorbed normally.
+    steal_outstanding_.store(0, std::memory_order_relaxed);
+  }
+  if (sched_->size() > 0 ||
+      active_workers_.load(std::memory_order_relaxed) > 0 ||
+      now_tp < next_steal_at_) {
+    return;
+  }
+  // Victim selection: the best (largest) load hint heard so far, falling
+  // back to a seeded random peer when nobody advertised work. A hint of 1
+  // is not worth a request — the victim keeps its last task.
+  int victim = -1;
+  int64_t best = 1;
+  for (int p = 0; p < nranks(); ++p) {
+    if (p == rank()) continue;
+    if (load_hints_[static_cast<size_t>(p)] > best) {
+      best = load_hints_[static_cast<size_t>(p)];
+      victim = p;
+    }
+  }
+  if (victim < 0) {
+    const auto off =
+        1 + steal_rng_.next_below(static_cast<uint64_t>(nranks() - 1));
+    victim = (rank() + static_cast<int>(off)) % nranks();
+  }
+  // Consume the hint so an empty-handed victim is not hammered while its
+  // next reply (which refreshes the hint) is in flight.
+  if (load_hints_[static_cast<size_t>(victim)] > 0) {
+    load_hints_[static_cast<size_t>(victim)] = 0;
+  }
+  st_requests_sent_.fetch_add(1, std::memory_order_relaxed);
+  steal_outstanding_.store(1, std::memory_order_relaxed);
+  vc::WireWriter w;
+  w.put<int64_t>(static_cast<int64_t>(sched_->size()));
+  rctx_.send(victim, kTagStealRequest, w.take());
+  next_steal_at_ = now_tp + ms_to_us(opts_.steal_cooldown_ms);
+  steal_reply_deadline_ = now_tp + ms_to_us(opts_.steal_reply_timeout_ms);
+}
+
+void Context::serve_steal_request(const vc::Message& msg) {
+  st_requests_received_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    vc::WireReader r(msg.payload);
+    const int64_t thief_load = r.get<int64_t>();
+    if (msg.src >= 0 && static_cast<size_t>(msg.src) < load_hints_.size()) {
+      load_hints_[static_cast<size_t>(msg.src)] = thief_load;
+    }
+  } catch (...) {
+    // Malformed request: answer empty-handed rather than unwind.
+  }
+  // Steal-half policy: give away at most half of the ready queue (capped),
+  // and only tasks that are locally owned and migratable. Whatever the
+  // harvest popped but cannot ship goes straight back.
+  std::vector<ReadyTask> batch;
+  const size_t avail = sched_->size();
+  if (!done_.load(std::memory_order_acquire) && avail >= 2) {
+    const size_t want = std::min<size_t>(
+        avail / 2, static_cast<size_t>(opts_.steal_max_batch));
+    std::vector<ReadyTask> popped, keep;
+    sched_->harvest(popped, want);
+    for (auto& t : popped) {
+      const bool foreign = t.origin >= 0 && t.origin != rank();
+      if (!foreign && pool_.cls(t.key.cls).migratable) {
+        batch.push_back(std::move(t));
+      } else {
+        keep.push_back(std::move(t));
+      }
+    }
+    if (!keep.empty()) {
+      sched_->push_batch(std::move(keep), -1);
+      // A worker could have observed an empty queue during the harvest
+      // window and gone to sleep; the re-push must not be lost.
+      wake_all();
+    }
+  }
+  vc::WireWriter w;
+  w.put<int64_t>(static_cast<int64_t>(sched_->size()));
+  w.put<uint32_t>(static_cast<uint32_t>(batch.size()));
+  for (const ReadyTask& t : batch) {
+    w.put<int16_t>(t.key.cls);
+    for (int32_t x : t.key.p) w.put<int32_t>(x);
+    w.put<double>(t.priority);
+    w.put<uint32_t>(static_cast<uint32_t>(t.inputs.size()));
+    for (const DataBuf& in : t.inputs) {
+      w.put<uint8_t>(in ? 1 : 0);
+      if (in) w.put_doubles(in->data(), in->size());
+    }
+  }
+  for (const ReadyTask& t : batch) {
+    if (opts_.migration_observer) {
+      opts_.migration_observer->migrated(t.key, rank(), msg.src);
+    }
+    // The contents now belong to the thief: any further local access until
+    // the (legal) release below is an MPA007 finding.
+    for (const DataBuf& in : t.inputs) {
+      if (in) MP_ANNOTATE_BUF_MIGRATE(in.get());
+    }
+  }
+  // Reply counted before the tasks it carries (release), so a snapshot
+  // observing migrated-out tasks always observes the reply too.
+  st_replies_sent_.fetch_add(1, std::memory_order_relaxed);
+  st_migrated_out_.fetch_add(batch.size(), std::memory_order_release);
+  rctx_.send(msg.src, kTagStealReply, w.take());
+  if (!batch.empty()) progress_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Context::absorb_steal_reply(const vc::Message& msg) {
+  st_replies_received_.fetch_add(1, std::memory_order_relaxed);
+  steal_outstanding_.store(0, std::memory_order_relaxed);
+  size_t n = 0;
+  try {
+    vc::WireReader r(msg.payload);
+    const int64_t victim_load = r.get<int64_t>();
+    if (msg.src >= 0 && static_cast<size_t>(msg.src) < load_hints_.size()) {
+      load_hints_[static_cast<size_t>(msg.src)] = victim_load;
+    }
+    n = r.get<uint32_t>();
+    std::vector<ReadyTask> tasks;
+    tasks.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      ReadyTask t;
+      t.key.cls = r.get<int16_t>();
+      for (auto& x : t.key.p) x = r.get<int32_t>();
+      t.priority = r.get<double>();
+      t.origin = msg.src;
+      t.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+      const auto nin = r.get<uint32_t>();
+      t.inputs.resize(nin);
+      for (uint32_t s = 0; s < nin; ++s) {
+        if (r.get<uint8_t>() != 0) {
+          auto data = make_buf_pooled(0);
+          *data = r.get_doubles();
+          t.inputs[s] = std::move(data);
+        }
+      }
+      tasks.push_back(std::move(t));
+    }
+    if (!tasks.empty()) {
+      foreign_pending_.fetch_add(static_cast<int64_t>(tasks.size()),
+                                 std::memory_order_relaxed);
+      // Bound for credits_sent: incremented (release) before the tasks
+      // become poppable, so a credit can never be observed without it.
+      st_migrated_in_.fetch_add(tasks.size(), std::memory_order_release);
+      sched_->push_batch(std::move(tasks), -1);
+      wake_all();
+      progress_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } catch (...) {
+    record_error();
+    return;
+  }
+  if (n == 0) {
+    next_steal_at_ =
+        std::chrono::steady_clock::now() + ms_to_us(opts_.steal_backoff_ms);
   }
 }
 
@@ -242,6 +504,29 @@ void Context::worker_loop(int wid) {
   }
 }
 
+double Context::watchdog_deadline_ms() const {
+  // Outstanding local work scales the deadline: a rank with many tasks
+  // still queued behind a slow remote chain is making no *local* progress
+  // but is not stuck, and the base interval alone fires spuriously on
+  // 1-worker configs running long GEMM chains.
+  const uint64_t completed =
+      executed_.load(std::memory_order_relaxed) +
+      st_credits_received_.load(std::memory_order_relaxed);
+  const uint64_t outstanding = expected_ > completed ? expected_ - completed
+                                                     : 0;
+  double scale =
+      1.0 + opts_.watchdog_scale_per_task *
+                static_cast<double>(std::min<uint64_t>(outstanding, 32));
+  if (stealing_active() &&
+      local_complete_.load(std::memory_order_relaxed)) {
+    // Locally complete, waiting for the global JOB_DONE: that can trail
+    // the slowest rank's tail arbitrarily; be patient before declaring a
+    // lost control message.
+    scale = std::max(scale, opts_.watchdog_global_scale);
+  }
+  return opts_.watchdog_timeout_ms * scale;
+}
+
 std::string Context::watchdog_dump() {
   size_t pending_keys = 0, pending_arrived = 0;
   for (Shard& shard : shards_) {
@@ -256,10 +541,24 @@ std::string Context::watchdog_dump() {
     std::lock_guard lock(out_mu_);
     outbox_depth = outbox_.size();
   }
+  const StealStats ss = steal_stats();
+  // Distinguish "chain migrated, credit pending" from "activation lost":
+  // with stealing, a stall with migrated-out tasks uncredited points at a
+  // lost STEAL_REPLY/CREDIT, not at the classic lost activation.
+  const char* likely = "likely a lost activation";
+  if (stealing_active()) {
+    if (ss.credits_received < ss.tasks_migrated_out) {
+      likely = "chain(s) migrated out await credits — STEAL_REPLY or "
+               "CREDIT lost in the fabric";
+    } else if (local_complete_.load(std::memory_order_relaxed)) {
+      likely = "locally complete, awaiting global termination — "
+               "LOCAL_DONE or JOB_DONE lost in the fabric";
+    }
+  }
   std::ostringstream os;
   os << "PTG watchdog: rank " << rank() << " made no progress for "
-     << opts_.watchdog_timeout_ms
-     << " ms with tasks outstanding (likely a lost activation)."
+     << watchdog_deadline_ms() << " ms with tasks outstanding (" << likely
+     << ")."
      << " executed=" << executed_.load() << "/" << expected_
      << " pending_deposit_keys=" << pending_keys
      << " pending_deposits_arrived=" << pending_arrived
@@ -267,6 +566,17 @@ std::string Context::watchdog_dump() {
      << " outbox_depth=" << outbox_depth
      << " mailbox_depth=" << rctx_.mailbox().size()
      << " remote_activations_sent=" << remote_sent_.load();
+  if (stealing_active()) {
+    os << " credits=" << ss.credits_received << "/" << ss.tasks_migrated_out
+       << " migrated_in=" << ss.tasks_migrated_in
+       << " credits_sent=" << ss.credits_sent
+       << " foreign_pending=" << foreign_pending_.load()
+       << " steal_outstanding=" << steal_outstanding_.load();
+    if (opts_.migration_observer) {
+      const std::string ledger = opts_.migration_observer->describe();
+      if (!ledger.empty()) os << " ledger={" << ledger << "}";
+    }
+  }
   return os.str();
 }
 
@@ -296,13 +606,24 @@ void Context::comm_loop() {
       sent_any = true;
     }
 
-    // Poll for inbound activations.
+    // Poll for inbound activations. Only messages that move real work —
+    // activations (deposit() bumps), credits, steal replies that carry
+    // tasks, shipments out of serve_steal_request — count as watchdog
+    // progress. Counting every pop would let the idle steal chatter of a
+    // stalled job (requests and empty replies bouncing between ranks
+    // whose ready queues are all empty) reset the deadline forever, and
+    // a lost activation would hang the run instead of tripping the
+    // watchdog.
     auto msg = sent_any ? mb.try_pop() : mb.pop_wait(100us);
     while (msg) {
-      progress_.fetch_add(1, std::memory_order_relaxed);
       if (msg->tag == kTagActivate) {
         try {
           vc::WireReader r(msg->payload);
+          const int64_t load = r.get<int64_t>();  // piggybacked load hint
+          if (msg->src >= 0 &&
+              static_cast<size_t>(msg->src) < load_hints_.size()) {
+            load_hints_[static_cast<size_t>(msg->src)] = load;
+          }
           TaskKey key;
           key.cls = r.get<int16_t>();
           for (auto& x : key.p) x = r.get<int32_t>();
@@ -323,6 +644,50 @@ void Context::comm_loop() {
         } catch (...) {
           record_error();
         }
+      } else if (msg->tag == kTagStealRequest) {
+        serve_steal_request(*msg);
+      } else if (msg->tag == kTagStealReply) {
+        absorb_steal_reply(*msg);
+      } else if (msg->tag == kTagCredit) {
+        try {
+          vc::WireReader r(msg->payload);
+          const int64_t load = r.get<int64_t>();
+          if (msg->src >= 0 &&
+              static_cast<size_t>(msg->src) < load_hints_.size()) {
+            load_hints_[static_cast<size_t>(msg->src)] = load;
+          }
+          TaskKey key;
+          key.cls = r.get<int16_t>();
+          for (auto& x : key.p) x = r.get<int32_t>();
+          if (opts_.migration_observer) {
+            opts_.migration_observer->credited(key, rank(), msg->src);
+          }
+          st_credits_received_.fetch_add(1, std::memory_order_release);
+          // A migrated task retired somewhere: real forward progress.
+          progress_.fetch_add(1, std::memory_order_relaxed);
+          maybe_local_complete();
+        } catch (...) {
+          record_error();
+        }
+      } else if (msg->tag == kTagLocalDone) {
+        if (rank() == 0) {
+          const bool fresh = note_rank_done(msg->src);
+          // Only a FIRST report is progress: the periodic resends of an
+          // already-counted rank must not keep resetting the watchdog.
+          if (fresh) progress_.fetch_add(1, std::memory_order_relaxed);
+          // A repeated report after JOB_DONE means the src missed the
+          // broadcast (dropped in the fabric): replay it point-to-point.
+          if (!fresh && done_.load(std::memory_order_acquire)) {
+            rctx_.send(msg->src, kTagJobDone, {});
+          }
+        } else {
+          MP_LOG_WARN("comm thread: rank %d got LOCAL_DONE but is not the "
+                      "coordinator",
+                      rank());
+        }
+      } else if (msg->tag == kTagJobDone) {
+        done_.store(true, std::memory_order_release);
+        wake_all();
       } else {
         MP_LOG_WARN("comm thread: dropping message with unknown tag %d",
                     msg->tag);
@@ -330,10 +695,25 @@ void Context::comm_loop() {
       msg = mb.try_pop();
     }
 
+    if (stealing_active()) {
+      const auto now_tp = std::chrono::steady_clock::now();
+      steal_agent_tick(now_tp);
+      // Periodically repeat the local-done report until JOB_DONE arrives:
+      // together with rank 0's replay above this makes global termination
+      // survive dropped control messages.
+      if (rank() != 0 && !done_.load(std::memory_order_acquire) &&
+          local_complete_.load(std::memory_order_acquire) &&
+          now_tp >= next_done_resend_) {
+        rctx_.send(0, kTagLocalDone, {});
+        next_done_resend_ = now_tp + ms_to_us(opts_.termination_resend_ms);
+      }
+    }
+
     // Watchdog: if tasks are outstanding but nothing has moved — no task
     // executed, no deposit, no message in or out, no worker busy, nothing
-    // queued — for watchdog_timeout_ms, an activation was lost somewhere.
-    // Surface a diagnostic StateError instead of hanging forever.
+    // queued — for the (outstanding-work-scaled) deadline, an activation
+    // was lost somewhere. Surface a diagnostic StateError instead of
+    // hanging forever.
     if (opts_.watchdog_timeout_ms > 0.0 &&
         !done_.load(std::memory_order_acquire)) {
       const uint64_t p = progress_.load(std::memory_order_relaxed);
@@ -345,7 +725,7 @@ void Context::comm_loop() {
         watchdog_mark = now_tp;
       } else if (std::chrono::duration<double, std::milli>(
                      now_tp - watchdog_mark)
-                     .count() > opts_.watchdog_timeout_ms) {
+                     .count() > watchdog_deadline_ms()) {
         const std::string dump = watchdog_dump();
         MP_LOG_ERROR("%s", dump.c_str());
         try {
@@ -366,8 +746,15 @@ void Context::comm_loop() {
       // Workers are gone and the outbox is flushed. Drain the mailbox one
       // final time so late inbound messages (e.g. aborts or activations
       // still in flight from peers) are logged, not silently abandoned.
+      // Steal-protocol control traffic (a request racing shutdown, an
+      // empty reply, a JOB_DONE replay) is expected to straggle and is not
+      // worth a warning.
       size_t discarded = 0;
       while (auto late = mb.try_pop()) {
+        if (late->tag == kTagStealRequest || late->tag == kTagStealReply ||
+            late->tag == kTagLocalDone || late->tag == kTagJobDone) {
+          continue;
+        }
         ++discarded;
         MP_LOG_WARN(
             "comm thread: rank %d discarding late message at shutdown "
@@ -406,7 +793,15 @@ void Context::run() {
   }
 
   enumerate_startup();
-  if (expected_ == 0) done_.store(true);
+  if (stealing_active()) {
+    // A rank with no own tasks is *locally* done immediately but must not
+    // exit: it keeps serving the fabric and stealing work from loaded
+    // peers until the coordinator's JOB_DONE — that idle capacity is the
+    // whole point of inter-node stealing on skewed placements.
+    maybe_local_complete();
+  } else if (expected_ == 0) {
+    done_.store(true);
+  }
 
   std::thread comm([this] { comm_loop(); });
   std::vector<std::thread> workers;

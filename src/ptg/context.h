@@ -4,6 +4,21 @@
 // remote consumers through the virtual-cluster fabric, and detects
 // termination (every locally-owned task instance executed).
 //
+// With `Options::enable_stealing`, the comm thread doubles as an inter-node
+// steal agent (John et al., "Distributed Work Stealing in a Task-Based
+// Dataflow Runtime"): when the local queues run dry it picks a victim —
+// randomized, biased by load hints piggybacked on every activation and
+// steal message — and sends a STEAL_REQUEST. The victim harvests up to
+// half of its ready tasks (capped at steal_max_batch, skipping classes
+// marked non-migratable) and ships them, input buffers included, in a
+// STEAL_REPLY. Because migrated tasks execute on a foreign rank,
+// termination switches to a credit scheme: the thief sends one CREDIT per
+// completed foreign task back to its home rank, a rank is *locally* done
+// when executed + credits_received == expected, local-done reports flow to
+// rank 0, and rank 0 broadcasts JOB_DONE once every rank has reported —
+// which also proves no migrated task (always counted at its home rank) is
+// still in flight anywhere.
+//
 // Usage (inside a vc::Cluster SPMD region):
 //   Taskpool pool;  ... add classes ...
 //   Context ctx(rank_ctx, pool, opts);
@@ -24,9 +39,25 @@
 #include "ptg/scheduler.h"
 #include "ptg/taskpool.h"
 #include "ptg/trace.h"
+#include "support/rng.h"
 #include "vc/cluster.h"
 
 namespace mp::ptg {
+
+/// Callback interface for recording task-ownership transfers outside the
+/// runtime (the ga layer keeps a MigrationLedger so placement lookups stay
+/// coherent while a task is resident on a foreign rank). `migrated` fires
+/// on the victim when a task is handed to the fabric; `credited` fires on
+/// the victim again when the thief's completion credit arrives. Both may be
+/// called from comm or worker threads concurrently.
+class MigrationObserver {
+ public:
+  virtual ~MigrationObserver() = default;
+  virtual void migrated(const TaskKey& key, int home, int holder) = 0;
+  virtual void credited(const TaskKey& key, int home, int holder) = 0;
+  /// One-line state summary for watchdog dumps ("" when idle).
+  virtual std::string describe() const { return {}; }
+};
 
 struct Options {
   int num_workers = 2;            ///< compute threads per rank
@@ -36,8 +67,85 @@ struct Options {
   /// If no local progress happens for this long while tasks are still
   /// outstanding (e.g. an activation was lost in the fabric), run() raises
   /// a StateError carrying a diagnostic dump instead of hanging forever.
-  /// 0 disables the watchdog.
+  /// 0 disables the watchdog. The effective deadline is scaled by the
+  /// outstanding-work estimate (see watchdog_scale_per_task): a rank with
+  /// many tasks still queued behind a long remote GEMM chain is slow, not
+  /// stuck, and must not fire spuriously on 1-worker configs.
   double watchdog_timeout_ms = 30000.0;
+  /// Deadline scale per locally-outstanding task, clamped at 32 tasks:
+  /// deadline = timeout * (1 + scale * min(outstanding, 32)).
+  double watchdog_scale_per_task = 1.0;
+  /// Deadline multiplier while this rank is locally complete but waiting
+  /// for the global JOB_DONE (stealing runs only): global termination can
+  /// legitimately trail the slowest rank's tail by a long way.
+  double watchdog_global_scale = 8.0;
+
+  // -- inter-node work stealing (no effect on single-rank jobs) --
+  bool enable_stealing = false;
+  /// Max tasks migrated per STEAL_REPLY (the victim also never gives away
+  /// more than half of its ready queue).
+  int steal_max_batch = 16;
+  /// Minimum interval between two steal requests from this rank.
+  double steal_cooldown_ms = 1.0;
+  /// Extra wait after an empty reply before trying the next victim.
+  double steal_backoff_ms = 5.0;
+  /// Give up on an outstanding request after this long (reply lost in the
+  /// fabric) and allow a new one.
+  double steal_reply_timeout_ms = 100.0;
+  /// Re-send interval for the local-done report / JOB_DONE replay, making
+  /// the termination protocol robust to dropped control messages.
+  double termination_resend_ms = 250.0;
+  /// Seed for randomized victim selection (mixed with the rank id).
+  uint64_t steal_seed = 0x57ea15eed5ULL;
+  /// Optional ownership-transfer recorder (see MigrationObserver). Not
+  /// owned; must outlive run().
+  MigrationObserver* migration_observer = nullptr;
+};
+
+/// Counters of the inter-node steal protocol, one instance per rank. All
+/// pairs follow the repo's counter-pair discipline (bounded counter
+/// incremented with release after its bound, snapshot reads the bounded one
+/// first with acquire), so validate() holds for mid-run snapshots too.
+struct StealStats {
+  uint64_t requests_sent = 0;
+  uint64_t requests_received = 0;
+  uint64_t replies_sent = 0;      ///< includes empty replies
+  uint64_t replies_received = 0;
+  uint64_t tasks_migrated_out = 0;
+  uint64_t tasks_migrated_in = 0;
+  uint64_t credits_sent = 0;      ///< foreign tasks completed here
+  uint64_t credits_received = 0;  ///< own tasks completed remotely
+
+  /// Internal-consistency self check; "" when consistent, else the
+  /// violated invariant (stress tests assert on this).
+  std::string validate() const {
+    auto bound = [](const char* what, uint64_t a, uint64_t b,
+                    const char* limit) -> std::string {
+      return std::string("StealStats: ") + what + " (" + std::to_string(a) +
+             ") > " + limit + " (" + std::to_string(b) + ")";
+    };
+    if (replies_sent > requests_received) {
+      return bound("replies_sent", replies_sent, requests_received,
+                   "requests_received");
+    }
+    if (replies_received > requests_sent) {
+      return bound("replies_received", replies_received, requests_sent,
+                   "requests_sent");
+    }
+    if (tasks_migrated_out > 0 && replies_sent == 0) {
+      return "StealStats: tasks_migrated_out (" +
+             std::to_string(tasks_migrated_out) + ") > 0 with no reply sent";
+    }
+    if (credits_received > tasks_migrated_out) {
+      return bound("credits_received", credits_received, tasks_migrated_out,
+                   "tasks_migrated_out");
+    }
+    if (credits_sent > tasks_migrated_in) {
+      return bound("credits_sent", credits_sent, tasks_migrated_in,
+                   "tasks_migrated_in");
+    }
+    return {};
+  }
 };
 
 class Context {
@@ -47,6 +155,16 @@ class Context {
   /// Broadcast when a rank aborts (task body threw): peers stop waiting
   /// for activations that will never come and unwind too.
   static constexpr int kTagAbort = 102;
+  /// Inter-node stealing: idle thief asking a victim for work.
+  static constexpr int kTagStealRequest = 103;
+  /// Victim's answer: a (possibly empty) batch of migrated ready tasks.
+  static constexpr int kTagStealReply = 104;
+  /// Thief -> home rank: one migrated task finished executing.
+  static constexpr int kTagCredit = 105;
+  /// Rank -> rank 0: executed + credits_received == expected here.
+  static constexpr int kTagLocalDone = 106;
+  /// Rank 0 -> all: every rank reported local-done; the job is finished.
+  static constexpr int kTagJobDone = 107;
 
   Context(vc::RankCtx& rank_ctx, const Taskpool& pool, Options opts = {});
 
@@ -71,12 +189,23 @@ class Context {
   int nranks() const { return rctx_.nranks(); }
   const Options& options() const { return opts_; }
 
-  /// Post-run statistics.
-  uint64_t tasks_executed() const { return executed_.load(); }
+  /// Post-run statistics. tasks_executed counts bodies run on THIS rank:
+  /// its own tasks (executed_) plus migrated-in foreign ones (each of
+  /// which sent a credit). tasks_completed counts this rank's OWN tasks
+  /// finished anywhere — executed here plus credits received from thieves
+  /// — the quantity termination is defined over. Without stealing the two
+  /// are equal.
+  uint64_t tasks_executed() const {
+    return executed_.load() + st_credits_sent_.load();
+  }
+  uint64_t tasks_completed() const {
+    return executed_.load() + st_credits_received_.load();
+  }
   uint64_t expected_tasks() const { return expected_; }
   uint64_t remote_activations_sent() const { return remote_sent_.load(); }
   uint64_t scheduler_steals() const { return sched_->steals(); }
   SchedStats scheduler_stats() const { return sched_->stats(); }
+  StealStats steal_stats() const;
 
   /// Post-run trace of this rank (empty unless enable_tracing).
   const Trace& trace() const { return trace_; }
@@ -98,6 +227,25 @@ class Context {
   void record_error();  ///< capture current exception, force shutdown
   void worker_loop(int wid);
   void comm_loop();
+  /// True when inter-node stealing is actually in play for this job.
+  bool stealing_active() const {
+    return opts_.enable_stealing && nranks() > 1;
+  }
+  /// Called whenever one of this rank's own tasks completes (locally or by
+  /// credit). Latches local completion exactly once: without stealing it
+  /// sets done_; with stealing it reports local-done towards rank 0.
+  void maybe_local_complete();
+  /// Rank 0 only: record a rank's local-done report; broadcasts JOB_DONE
+  /// when the last one arrives. Returns false for an already-seen rank.
+  bool note_rank_done(int r);
+  /// Comm thread: the steal agent — issue a STEAL_REQUEST when idle.
+  void steal_agent_tick(std::chrono::steady_clock::time_point now_tp);
+  /// Comm thread: serve a STEAL_REQUEST (harvest + reply).
+  void serve_steal_request(const vc::Message& msg);
+  /// Comm thread: absorb a STEAL_REPLY (deserialize + enqueue).
+  void absorb_steal_reply(const vc::Message& msg);
+  /// Effective watchdog deadline in ms, scaled by outstanding local work.
+  double watchdog_deadline_ms() const;
   /// Wake one / all workers. The wake mutex is taken while notifying so a
   /// worker checking its wait predicate can never miss the signal.
   void wake_one();
@@ -150,6 +298,36 @@ class Context {
   // dependency deposit, outbound transfer and inbound message.
   std::atomic<uint64_t> progress_{0};
   std::atomic<int> active_workers_{0};
+
+  // -- inter-node stealing state --
+  // Steal-protocol counters (see StealStats for the pairing discipline).
+  std::atomic<uint64_t> st_requests_sent_{0};
+  std::atomic<uint64_t> st_requests_received_{0};
+  std::atomic<uint64_t> st_replies_sent_{0};
+  std::atomic<uint64_t> st_replies_received_{0};
+  std::atomic<uint64_t> st_migrated_out_{0};
+  std::atomic<uint64_t> st_migrated_in_{0};
+  std::atomic<uint64_t> st_credits_sent_{0};
+  std::atomic<uint64_t> st_credits_received_{0};
+  /// Migrated-in tasks queued or executing here, not yet credited home.
+  std::atomic<int64_t> foreign_pending_{0};
+  /// 1 while a STEAL_REQUEST from this rank is unanswered.
+  std::atomic<int> steal_outstanding_{0};
+  /// Latch: this rank's own work is complete (report sent / done_ set).
+  std::atomic<bool> local_complete_{false};
+
+  // Comm-thread-only steal agent state (no locking needed).
+  std::vector<int64_t> load_hints_;  ///< last-heard queue depth per rank
+  Rng steal_rng_{0};
+  std::chrono::steady_clock::time_point next_steal_at_;
+  std::chrono::steady_clock::time_point steal_reply_deadline_;
+  std::chrono::steady_clock::time_point next_done_resend_;
+
+  // Rank 0's termination bookkeeping (guarded by term_mu_; worker threads
+  // may deliver rank 0's own report while the comm thread delivers peers').
+  std::mutex term_mu_;
+  std::vector<uint8_t> rank_done_seen_;
+  int ranks_done_count_ = 0;
 
   std::chrono::steady_clock::time_point epoch_;
   std::vector<std::vector<TraceEvent>> worker_events_;

@@ -118,6 +118,21 @@ class ChaseLevDeque {
   static constexpr size_t kCap = 4096;  // power of two
   static constexpr size_t kMask = kCap - 1;
 
+  // TSan cannot model standalone fences (GCC-12 rejects atomic_thread_fence
+  // outright under -fsanitize=thread), so sanitizer builds compile the
+  // fences out and run the whole protocol on sequentially-consistent
+  // accesses instead: same algorithm, slower, and every happens-before
+  // edge the fences provided is visible to the race detector.
+#if defined(__SANITIZE_THREAD__)
+  static constexpr std::memory_order kProtocolRelaxed =
+      std::memory_order_seq_cst;
+  static void fence(std::memory_order) {}
+#else
+  static constexpr std::memory_order kProtocolRelaxed =
+      std::memory_order_relaxed;
+  static void fence(std::memory_order o) { std::atomic_thread_fence(o); }
+#endif
+
   ChaseLevDeque() {
     // Registers the deque with the lifecycle checker (and clears any stale
     // ownership left by a previous deque at the same recycled address).
@@ -131,13 +146,12 @@ class ChaseLevDeque {
   /// Owner only. False when full (caller reroutes to the overflow queue).
   bool push_bottom(ReadyTask* t) {
     MP_ANNOTATE_DEQUE_OWNER_OP(this);
-    const int64_t b = bottom_.load(std::memory_order_relaxed);
+    const int64_t b = bottom_.load(kProtocolRelaxed);
     const int64_t tp = top_.load(std::memory_order_acquire);
     if (b - tp >= static_cast<int64_t>(kCap)) return false;
-    slots_[static_cast<size_t>(b) & kMask].store(t,
-                                                 std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_release);
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    slots_[static_cast<size_t>(b) & kMask].store(t, kProtocolRelaxed);
+    fence(std::memory_order_release);
+    bottom_.store(b + 1, kProtocolRelaxed);
     // Publish a happens-before edge for a future thief's steal_top().
     MP_ANNOTATE_CHANNEL_SEND(this);
     return true;
@@ -147,14 +161,13 @@ class ChaseLevDeque {
   /// race to a thief).
   ReadyTask* pop_bottom() {
     MP_ANNOTATE_DEQUE_OWNER_OP(this);
-    const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
-    bottom_.store(b, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    int64_t tp = top_.load(std::memory_order_relaxed);
+    const int64_t b = bottom_.load(kProtocolRelaxed) - 1;
+    bottom_.store(b, kProtocolRelaxed);
+    fence(std::memory_order_seq_cst);
+    int64_t tp = top_.load(kProtocolRelaxed);
     ReadyTask* res = nullptr;
     if (tp <= b) {
-      res = slots_[static_cast<size_t>(b) & kMask].load(
-          std::memory_order_relaxed);
+      res = slots_[static_cast<size_t>(b) & kMask].load(kProtocolRelaxed);
       if (tp == b) {
         // Last element: race the thieves for it.
         if (!top_.compare_exchange_strong(tp, tp + 1,
@@ -162,10 +175,10 @@ class ChaseLevDeque {
                                           std::memory_order_relaxed)) {
           res = nullptr;
         }
-        bottom_.store(b + 1, std::memory_order_relaxed);
+        bottom_.store(b + 1, kProtocolRelaxed);
       }
     } else {
-      bottom_.store(b + 1, std::memory_order_relaxed);
+      bottom_.store(b + 1, kProtocolRelaxed);
     }
     return res;
   }
@@ -177,11 +190,11 @@ class ChaseLevDeque {
   ReadyTask* steal_top() {
     MP_ANNOTATE_DEQUE_STEAL_OP(this);
     int64_t tp = top_.load(std::memory_order_acquire);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    fence(std::memory_order_seq_cst);
     const int64_t b = bottom_.load(std::memory_order_acquire);
     if (tp >= b) return nullptr;
     ReadyTask* t =
-        slots_[static_cast<size_t>(tp) & kMask].load(std::memory_order_relaxed);
+        slots_[static_cast<size_t>(tp) & kMask].load(kProtocolRelaxed);
     if (!top_.compare_exchange_strong(tp, tp + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed)) {
       return nullptr;
@@ -251,8 +264,12 @@ class StealingScheduler final : public Scheduler {
       }
     }
 
-    // 3. Steal the top (oldest task) of another worker's deque.
-    for (size_t i = 1; i < n; ++i) {
+    // 3. Steal the top (oldest task) of another worker's deque. A worker
+    // starts with its peers (i = 1; its own bottom was tried above); a
+    // non-worker caller (comm-thread harvest for inter-node migration)
+    // must scan every deque including deque 0, which the old i = 1 start
+    // silently skipped — tasks parked there were invisible to harvesting.
+    for (size_t i = worker >= 0 ? 1 : 0; i < n; ++i) {
       const size_t victim = (me + i) % n;
       steal_attempts_.fetch_add(1, std::memory_order_relaxed);
       if (ReadyTask* t = deques_[victim]->steal_top()) {

@@ -29,6 +29,10 @@ namespace mp::ptg {
 struct ReadyTask {
   double priority = 0.0;
   uint64_t seq = 0;  ///< global insertion order, for deterministic ties
+  /// Home rank of a task migrated here by inter-node stealing; -1 for a
+  /// locally-owned task. The executor credits the origin rank instead of
+  /// counting the completion locally (see Context).
+  int origin = -1;
   TaskKey key;
   std::vector<DataBuf> inputs;
 };
@@ -80,6 +84,20 @@ class Scheduler {
 
   /// Dequeue the best task for `worker`; false if none available anywhere.
   virtual bool try_pop(ReadyTask& out, int worker) = 0;
+
+  /// Remove up to `max_n` ready tasks for migration to another node (the
+  /// victim side of an inter-node steal). Uses the non-worker pop path, so
+  /// any thread may call it; tasks the caller decides not to migrate can be
+  /// re-pushed with worker = -1. Returns the number harvested.
+  virtual size_t harvest(std::vector<ReadyTask>& out, size_t max_n) {
+    size_t n = 0;
+    ReadyTask t;
+    while (n < max_n && try_pop(t, -1)) {
+      out.push_back(std::move(t));
+      ++n;
+    }
+    return n;
+  }
 
   /// Approximate number of queued tasks, O(1): a relaxed atomic counter
   /// maintained on push/pop, never a sweep over shard locks. Exact once

@@ -91,6 +91,12 @@ struct TaskClass {
 
   /// The task body. Required.
   std::function<void(TaskCtx&)> body;
+
+  /// Whether ready instances may be migrated to another rank by the
+  /// inter-node steal agent. Classes whose body relies on rank-local state
+  /// beyond their task inputs (e.g. WRITE_C serializing through a per-rank
+  /// mutex onto locally-owned Global Array blocks) must opt out.
+  bool migratable = true;
 };
 
 /// A complete PTG: an ordered set of task classes. Class ids are assigned

@@ -209,9 +209,8 @@ std::string Trace::ascii_gantt(int width,
       last_rank = rows[r].first;
       out += "node " + std::to_string(last_rank) + ":\n";
     }
-    std::string label = rows[r].second < 0
-                            ? std::string("comm")
-                            : "w" + std::to_string(rows[r].second);
+    std::string label = rows[r].second < 0 ? "comm" : "w";
+    if (rows[r].second >= 0) label += std::to_string(rows[r].second);
     label.resize(6, ' ');
     out += "  " + label + "|" + grid[r] + "|\n";
   }

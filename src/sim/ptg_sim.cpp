@@ -1,5 +1,6 @@
 #include "sim/ptg_sim.h"
 
+#include <algorithm>
 #include <queue>
 
 #include "support/error.h"
@@ -30,16 +31,22 @@ struct Fcfs {
   double wait(double t) const { return free_at > t ? free_at - t : 0.0; }
 };
 
-enum class EvType : int8_t { kFinish, kArrive, kDeposit };
+enum class EvType : int8_t {
+  kFinish,
+  kArrive,
+  kDeposit,
+  kStealReq,   ///< STEAL_REQUEST lands at the victim (task = thief node)
+  kStealReply  ///< reply lands at the thief (task = batch index, -1 empty)
+};
 
 struct Event {
   double time = 0.0;
   uint64_t seq = 0;
   EvType type = EvType::kFinish;
   int32_t task = -1;
-  int32_t core = -1;     // kFinish
+  int32_t core = -1;     // kFinish; kStealReq/kStealReply: dst node
   double bytes = 0.0;    // kArrive
-  int32_t from_node = 0; // kArrive (trace only)
+  int32_t from_node = 0; // kArrive (trace only); kStealReply: victim
 
   bool operator>(const Event& o) const {
     if (time != o.time) return time > o.time;
@@ -63,6 +70,8 @@ struct NodeState {
   std::priority_queue<ReadyEntry> ready;
   Fcfs nic_in, nic_out, comm, mutex;
   std::vector<Fcfs> accels;  ///< offload devices (hybrid future work)
+  bool steal_inflight = false;   ///< a STEAL_REQUEST awaits its reply
+  double next_steal_at = 0.0;    ///< backoff after an empty-handed attempt
 };
 
 }  // namespace
@@ -85,6 +94,15 @@ SimResult simulate_ptg(const SimGraph& graph, const SimOptions& opts) {
   for (size_t i = 0; i < graph.tasks.size(); ++i) {
     deps[i] = graph.tasks[i].ndeps;
   }
+
+  // Where each task actually runs: stealing rewrites entries away from the
+  // static placement, and successor routing compares against this (a
+  // migrated task's outputs travel from the node that executed it).
+  std::vector<int32_t> exec_node(graph.tasks.size());
+  for (size_t i = 0; i < graph.tasks.size(); ++i) {
+    exec_node[i] = graph.tasks[i].node;
+  }
+  std::vector<std::vector<int32_t>> steal_batches;
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
   uint64_t seq = 0;
@@ -150,11 +168,44 @@ SimResult simulate_ptg(const SimGraph& graph, const SimOptions& opts) {
       res.core_busy_time += end - now;
       res.busy_by_kind[static_cast<size_t>(t.kind)] += end - now;
       if (opts.record_trace) {
-        res.trace.add(ptg::TraceEvent{t.node, core,
+        // node_id, not t.node: migrated tasks render on the executing node.
+        res.trace.add(ptg::TraceEvent{node_id, core,
                                       static_cast<int16_t>(t.kind),
                                       ptg::params_of(t.l1, t.l2), now, end,
                                       false});
       }
+    }
+  };
+
+  // Idle detection + victim selection of the steal agent: any fully idle
+  // node past its backoff asks the most loaded peer (argmax ready-count,
+  // lowest index wins ties — deterministic) for work. The request is a
+  // zero-payload control message riding the comm thread and NIC.
+  auto try_steals = [&](double tnow) {
+    if (!opts.enable_stealing || P < 2) return;
+    for (int thief = 0; thief < P; ++thief) {
+      NodeState& tn = nodes[static_cast<size_t>(thief)];
+      if (tn.steal_inflight || !tn.ready.empty() ||
+          tn.idle_cores.size() != static_cast<size_t>(cores) ||
+          tnow < tn.next_steal_at) {
+        continue;
+      }
+      int victim = -1;
+      size_t best = 1;  // a victim needs >= 2 ready tasks to share
+      for (int v = 0; v < P; ++v) {
+        if (v == thief) continue;
+        if (nodes[static_cast<size_t>(v)].ready.size() > best) {
+          best = nodes[static_cast<size_t>(v)].ready.size();
+          victim = v;
+        }
+      }
+      if (victim < 0) continue;
+      tn.steal_inflight = true;
+      res.steal_requests += 1;
+      const double t_comm = tn.comm.serve(tnow, cm.comm_msg_overhead_s);
+      const double t_out = tn.nic_out.serve(t_comm, 0.0);
+      events.push(Event{t_out + cm.net_latency_s, seq++, EvType::kStealReq,
+                        thief, victim, 0.0, 0});
     }
   };
 
@@ -175,6 +226,7 @@ SimResult simulate_ptg(const SimGraph& graph, const SimOptions& opts) {
     }
   }
   for (int n = 0; n < P; ++n) dispatch(n, 0.0);
+  try_steals(0.0);
 
   double now = 0.0;
   while (!events.empty()) {
@@ -185,11 +237,12 @@ SimResult simulate_ptg(const SimGraph& graph, const SimOptions& opts) {
     switch (ev.type) {
       case EvType::kFinish: {
         const SimTask& t = graph.tasks[static_cast<size_t>(ev.task)];
-        NodeState& node = nodes[static_cast<size_t>(t.node)];
+        const int32_t xnode = exec_node[static_cast<size_t>(ev.task)];
+        NodeState& node = nodes[static_cast<size_t>(xnode)];
         node.idle_cores.push_back(ev.core);
         for (const int32_t s : t.succs) {
           const SimTask& st = graph.tasks[static_cast<size_t>(s)];
-          if (st.node == t.node) {
+          if (st.node == xnode) {
             if (--deps[static_cast<size_t>(s)] == 0) make_ready(s, now);
           } else {
             // Cross-node activation: comm thread hands the buffer to the
@@ -204,10 +257,11 @@ SimResult simulate_ptg(const SimGraph& graph, const SimOptions& opts) {
             events.push(Event{t_out + cm.net_latency_s +
                                   cm.protocol_latency(t.out_bytes),
                               seq++, EvType::kArrive, s, -1, t.out_bytes,
-                              t.node});
+                              xnode});
           }
         }
-        dispatch(t.node, now);
+        dispatch(xnode, now);
+        try_steals(now);
         break;
       }
       case EvType::kArrive: {
@@ -229,6 +283,69 @@ SimResult simulate_ptg(const SimGraph& graph, const SimOptions& opts) {
         if (--deps[static_cast<size_t>(ev.task)] == 0) {
           make_ready(ev.task, now);
         }
+        break;
+      }
+      case EvType::kStealReq: {
+        // Victim side: harvest the lowest-priority half of the ready
+        // queue (capped), skipping non-migratable work, and ship it with
+        // its input payloads. An empty-handed reply still goes back so
+        // the thief can re-arm.
+        const int thief = ev.task;
+        NodeState& victim = nodes[static_cast<size_t>(ev.core)];
+        const double t_seen = victim.comm.serve(now, cm.comm_msg_overhead_s);
+        std::vector<ReadyEntry> all;
+        while (!victim.ready.empty()) {
+          all.push_back(victim.ready.top());
+          victim.ready.pop();
+        }
+        const size_t want = std::min(
+            all.size() / 2, static_cast<size_t>(opts.steal_max_batch));
+        std::vector<int32_t> batch;
+        double bytes = 0.0;
+        for (auto it = all.rbegin(); it != all.rend(); ++it) {
+          const SimTask& t = graph.tasks[static_cast<size_t>(it->task)];
+          if (batch.size() < want && t.kind != SimTaskKind::kWrite &&
+              !t.needs_mutex) {
+            batch.push_back(it->task);
+            bytes += t.bytes;
+          } else {
+            victim.ready.push(*it);
+          }
+        }
+        double t_ready = t_seen;
+        int32_t bidx = -1;
+        if (!batch.empty()) {
+          t_ready = victim.nic_out.serve(t_seen, cm.wire_time(bytes));
+          res.comm_busy_time += cm.wire_time(bytes);
+          res.steal_bytes += bytes;
+          res.steal_hits += 1;
+          bidx = static_cast<int32_t>(steal_batches.size());
+          steal_batches.push_back(std::move(batch));
+        }
+        events.push(Event{t_ready + cm.net_latency_s +
+                              cm.protocol_latency(bytes),
+                          seq++, EvType::kStealReply, bidx, thief, bytes,
+                          ev.core});
+        break;
+      }
+      case EvType::kStealReply: {
+        const int thief = ev.core;
+        NodeState& tn = nodes[static_cast<size_t>(thief)];
+        tn.steal_inflight = false;
+        if (ev.task < 0) {
+          tn.next_steal_at = now + opts.steal_backoff_s;
+          break;
+        }
+        const double t_in = tn.nic_in.serve(now, cm.wire_time(ev.bytes));
+        const double t_dep = tn.comm.serve(t_in, cm.comm_msg_overhead_s);
+        for (const int32_t id : steal_batches[static_cast<size_t>(ev.task)]) {
+          exec_node[static_cast<size_t>(id)] = thief;
+          tn.ready.push(
+              ReadyEntry{graph.tasks[static_cast<size_t>(id)].priority,
+                         seq++, id});
+          res.tasks_migrated += 1;
+        }
+        dispatch(thief, t_dep);
         break;
       }
     }

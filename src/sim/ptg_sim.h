@@ -23,6 +23,17 @@ struct SimOptions {
   int cores_per_node = 8;
   CostModel cost;
   bool record_trace = false;
+  /// Inter-node work stealing (DESIGN.md §9): a node whose cores are all
+  /// idle and whose ready queue is empty requests half the ready,
+  /// migratable tasks of the most loaded peer. Mirrors the real runtime's
+  /// steal agent: request/reply ride the comm thread + NIC like any other
+  /// message, migrated inputs pay wire time, WRITE (mutex-bound) tasks
+  /// never move. Deterministic: victim selection is argmax ready-count
+  /// with lowest-index tie-break.
+  bool enable_stealing = false;
+  int steal_max_batch = 16;
+  /// Re-arm delay after an empty-handed steal attempt.
+  double steal_backoff_s = 200e-6;
 };
 
 struct SimResult {
@@ -35,6 +46,10 @@ struct SimResult {
   uint64_t transfers = 0;                ///< cross-node messages
   double bytes_transferred = 0.0;
   uint64_t offloaded_gemms = 0;          ///< GEMMs run on accelerators
+  uint64_t steal_requests = 0;           ///< STEAL_REQUEST messages issued
+  uint64_t steal_hits = 0;               ///< replies carrying >= 1 task
+  uint64_t tasks_migrated = 0;           ///< tasks executed off their home
+  double steal_bytes = 0.0;              ///< input payload shipped by steals
   std::array<double, 7> busy_by_kind{};  ///< indexed by SimTaskKind
   ptg::Trace trace;                      ///< populated if record_trace
 };

@@ -18,6 +18,7 @@ const char* finding_code(FindingKind k) {
     case FindingKind::kDataRace: return "MPA004";
     case FindingKind::kStealViolation: return "MPA005";
     case FindingKind::kTlsViolation: return "MPA006";
+    case FindingKind::kMigratedAccess: return "MPA007";
   }
   return "MPA???";
 }
@@ -64,10 +65,12 @@ struct LifecycleChecker::Impl {
   };
   struct ObjState {
     bool live = false;
+    bool migrated = false;  ///< contents handed to the fabric, still live
     const char* kind = "?";
     Epoch last_write;
     std::vector<Epoch> reads;
     std::string destroy_task;  ///< who released it (for MPA002 reports)
+    std::string migrate_task;  ///< who handed it off (for MPA007 reports)
   };
 
   std::mutex mu;
@@ -222,8 +225,36 @@ void LifecycleChecker::obj_destroy(const void* obj, const char* kind) {
   // release is ordered after every other holder's accesses by the refcount
   // itself, wherever it runs. The lifecycle state flip below is what arms
   // MPA001/MPA002 for anything that touches the object afterwards.
+  // Destroying a migrated buffer is the expected end of its life on this
+  // rank (hand-off to the fabric is not a release).
   it->second.live = false;
+  it->second.migrated = false;
   it->second.destroy_task = impl_->me().task;
+}
+
+void LifecycleChecker::obj_migrate(const void* obj, const char* kind) {
+  std::lock_guard lock(impl_->mu);
+  auto it = impl_->objects.find(obj);
+  if (it == impl_->objects.end()) return;  // untracked allocation
+  auto& o = it->second;
+  if (!o.live) {
+    std::ostringstream os;
+    os << "migration of released " << kind << " " << obj;
+    if (!o.destroy_task.empty()) {
+      os << " (released in task " << o.destroy_task << ")";
+    }
+    impl_->add_finding(FindingKind::kMigratedAccess, os.str());
+    return;
+  }
+  if (o.migrated) {
+    std::ostringstream os;
+    os << "double migration of " << kind << " " << obj << " (first handed off"
+       << (o.migrate_task.empty() ? "" : " in task " + o.migrate_task) << ")";
+    impl_->add_finding(FindingKind::kMigratedAccess, os.str());
+    return;
+  }
+  o.migrated = true;
+  o.migrate_task = impl_->me().task;
 }
 
 void LifecycleChecker::obj_read(const void* obj, const char* kind) {
@@ -239,6 +270,16 @@ void LifecycleChecker::obj_read(const void* obj, const char* kind) {
     impl_->add_finding(FindingKind::kUseAfterRelease, os.str());
     return;
   }
+  if (it->second.migrated) {
+    std::ostringstream os;
+    os << "read of migrated " << kind << " " << obj << " (handed off"
+       << (it->second.migrate_task.empty()
+               ? ""
+               : " in task " + it->second.migrate_task)
+       << ", not yet released)";
+    impl_->add_finding(FindingKind::kMigratedAccess, os.str());
+    return;
+  }
   impl_->check_conflict(it->second, /*is_write=*/false, obj);
   impl_->record_access(it->second, /*is_write=*/false);
 }
@@ -251,6 +292,16 @@ void LifecycleChecker::obj_write(const void* obj, const char* kind) {
     std::ostringstream os;
     os << "use after release of " << kind << " " << obj << " (write)";
     impl_->add_finding(FindingKind::kUseAfterRelease, os.str());
+    return;
+  }
+  if (it->second.migrated) {
+    std::ostringstream os;
+    os << "write to migrated " << kind << " " << obj << " (handed off"
+       << (it->second.migrate_task.empty()
+               ? ""
+               : " in task " + it->second.migrate_task)
+       << ", not yet released)";
+    impl_->add_finding(FindingKind::kMigratedAccess, os.str());
     return;
   }
   impl_->check_conflict(it->second, /*is_write=*/true, obj);

@@ -48,6 +48,7 @@ enum class FindingKind {
   kDataRace,          ///< MPA004: unordered cross-thread access, no common lock
   kStealViolation,    ///< MPA005: deque owner end used by a foreign thread
   kTlsViolation,      ///< MPA006: thread-local object used by a foreign thread
+  kMigratedAccess,    ///< MPA007: buffer used after hand-off to the fabric
 };
 
 const char* finding_code(FindingKind k);  ///< "MPA001" ...
@@ -72,6 +73,12 @@ class LifecycleChecker {
   void obj_destroy(const void* obj, const char* kind);
   void obj_read(const void* obj, const char* kind);
   void obj_write(const void* obj, const char* kind);
+  /// The object's contents were serialized into the fabric for migration to
+  /// another rank. Hand-off is NOT a release: the local reference must
+  /// still be destroyed exactly once (obj_destroy), but any read or write
+  /// after this point — the remote side owns the data now — is reported as
+  /// MPA007, as is migrating the same live object twice.
+  void obj_migrate(const void* obj, const char* kind);
 
   // -- happens-before channels (send on hand-off, recv on take-over) --
   void channel_send(const void* channel);
@@ -129,6 +136,7 @@ class LifecycleChecker {
 #define MP_ANNOTATE_BUF_DESTROY(p) MP_ANNOTATE(obj_destroy((p), "DataBuf"))
 #define MP_ANNOTATE_BUF_READ(p) MP_ANNOTATE(obj_read((p), "DataBuf"))
 #define MP_ANNOTATE_BUF_WRITE(p) MP_ANNOTATE(obj_write((p), "DataBuf"))
+#define MP_ANNOTATE_BUF_MIGRATE(p) MP_ANNOTATE(obj_migrate((p), "DataBuf"))
 #define MP_ANNOTATE_CHANNEL_SEND(ch) MP_ANNOTATE(channel_send((ch)))
 #define MP_ANNOTATE_CHANNEL_RECV(ch) MP_ANNOTATE(channel_recv((ch)))
 #define MP_ANNOTATE_LOCK_ACQUIRED(mu) MP_ANNOTATE(lock_acquired((mu)))

@@ -1,0 +1,165 @@
+#include "tce/imbalance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace mp::tce {
+
+void ImbalanceSpec::validate() const {
+  MP_REQUIRE(nranks >= 1, "ImbalanceSpec: nranks must be >= 1");
+  MP_REQUIRE(min_len >= 1, "ImbalanceSpec: min_len must be >= 1");
+  MP_REQUIRE(max_len == 0 || max_len >= min_len,
+             "ImbalanceSpec: max_len must be 0 (uncapped) or >= min_len");
+  MP_REQUIRE(zipf_alpha >= 0.0, "ImbalanceSpec: zipf_alpha must be >= 0");
+  MP_REQUIRE(!hot_ranks.empty(), "ImbalanceSpec: hot_ranks must be non-empty");
+}
+
+namespace {
+
+/// Rebuild `base` at length `len` by cycling through its own GEMM list,
+/// renumbering L2 densely. Every emitted GEMM is a copy of one the chain
+/// already performs, so operand keys/offsets/shapes all stay valid.
+Chain retarget(const Chain& base, int len) {
+  MP_REQUIRE(!base.gemms.empty(), "imbalance: base chain has no GEMMs");
+  Chain c = base;
+  c.gemms.clear();
+  c.gemms.reserve(static_cast<size_t>(len));
+  const size_t blen = base.gemms.size();
+  for (int j = 0; j < len; ++j) {
+    GemmOp g = base.gemms[static_cast<size_t>(j) % blen];
+    g.l2 = j;
+    c.gemms.push_back(g);
+  }
+  return c;
+}
+
+/// Zipf weight of 1-based position `pos`.
+double zipf_w(size_t pos, double alpha) {
+  return std::pow(static_cast<double>(pos), -alpha);
+}
+
+/// Integer lengths proportional to `weights`, clamped to [min_len,
+/// max_len], summing to exactly `total` when the bounds allow it (the
+/// residual is walked off one unit at a time, heaviest slots first).
+std::vector<int> apportion(const std::vector<double>& weights, int64_t total,
+                           int min_len, int max_len) {
+  const size_t n = weights.size();
+  const double sum_w = std::accumulate(weights.begin(), weights.end(), 0.0);
+  const int cap = max_len > 0 ? max_len : std::numeric_limits<int>::max();
+  std::vector<int> len(n);
+  int64_t have = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double share = static_cast<double>(total) * weights[i] / sum_w;
+    len[i] = std::clamp(static_cast<int>(std::lround(share)), min_len, cap);
+    have += len[i];
+  }
+  // Heaviest-first index order for the residual walk.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return weights[a] > weights[b];
+  });
+  while (have != total) {
+    bool moved = false;
+    for (size_t i : order) {
+      if (have < total && len[i] < cap) {
+        ++len[i], ++have, moved = true;
+      } else if (have > total && len[i] > min_len) {
+        --len[i], --have, moved = true;
+      }
+      if (have == total) break;
+    }
+    if (!moved) break;  // bounds make `total` unreachable; best effort
+  }
+  return len;
+}
+
+ChainPlan rebuild(const ChainPlan& base, const std::vector<int>& len_of) {
+  ChainPlan out;
+  out.store_sizes = base.store_sizes;
+  out.chains.reserve(base.chains.size());
+  for (size_t i = 0; i < base.chains.size(); ++i) {
+    out.chains.push_back(retarget(base.chains[i], len_of[i]));
+  }
+  return out;
+}
+
+int64_t total_gemms(const ChainPlan& p) {
+  int64_t t = 0;
+  for (const Chain& c : p.chains) t += static_cast<int64_t>(c.gemms.size());
+  return t;
+}
+
+}  // namespace
+
+ChainPlan make_skewed_plan(const ChainPlan& base, const ImbalanceSpec& spec) {
+  spec.validate();
+  MP_REQUIRE(!base.chains.empty(), "make_skewed_plan: empty base plan");
+  const size_t n = base.chains.size();
+
+  // Slot order: every chain homed on a hot residue first (by id), then the
+  // rest — so the k-th largest Zipf length lands on the k-th hot slot.
+  std::vector<bool> hot(static_cast<size_t>(spec.nranks), false);
+  for (int r : spec.hot_ranks) {
+    hot[static_cast<size_t>(((r % spec.nranks) + spec.nranks) % spec.nranks)] =
+        true;
+  }
+  std::vector<size_t> slots;
+  slots.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (hot[i % static_cast<size_t>(spec.nranks)]) slots.push_back(i);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!hot[i % static_cast<size_t>(spec.nranks)]) slots.push_back(i);
+  }
+
+  std::vector<double> w(n);
+  for (size_t k = 0; k < n; ++k) w[slots[k]] = zipf_w(k + 1, spec.zipf_alpha);
+  return rebuild(base,
+                 apportion(w, total_gemms(base), spec.min_len, spec.max_len));
+}
+
+ChainPlan make_nested_imbalance_plan(const ChainPlan& base,
+                                     const ImbalanceSpec& spec) {
+  spec.validate();
+  MP_REQUIRE(!base.chains.empty(), "make_nested_imbalance_plan: empty base");
+  const size_t n = base.chains.size();
+  const auto nr = static_cast<size_t>(spec.nranks);
+
+  // Seeded permutation decides which rank sits where on the outer Zipf
+  // curve (different seeds move the hot spot around the cluster).
+  std::vector<size_t> rank_pos(nr);
+  std::iota(rank_pos.begin(), rank_pos.end(), size_t{0});
+  mp::Rng rng(spec.seed);
+  for (size_t i = nr; i > 1; --i) {
+    std::swap(rank_pos[i - 1], rank_pos[rng.next_below(i)]);
+  }
+
+  // Composite weight: outer Zipf over the rank, inner Zipf over the
+  // chain's position within its rank — one global apportion then conserves
+  // total work while realizing both tiers of the skew.
+  std::vector<size_t> pos_in_rank(nr, 0);
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t r = i % nr;
+    w[i] = zipf_w(rank_pos[r] + 1, spec.zipf_alpha) *
+           zipf_w(++pos_in_rank[r], spec.zipf_alpha);
+  }
+  return rebuild(base,
+                 apportion(w, total_gemms(base), spec.min_len, spec.max_len));
+}
+
+std::vector<int64_t> work_per_rank(const ChainPlan& plan, int nranks) {
+  std::vector<int64_t> acc(static_cast<size_t>(nranks), 0);
+  for (const Chain& c : plan.chains) {
+    acc[static_cast<size_t>(c.id % nranks)] +=
+        static_cast<int64_t>(c.gemms.size());
+  }
+  return acc;
+}
+
+}  // namespace mp::tce

@@ -1,0 +1,67 @@
+// Imbalanced-workload generators for the work-stealing experiments
+// (DESIGN.md §9). Both transform a *base* ChainPlan — typically the t2_7
+// inspection product — into a plan with the same chains (same output
+// blocks, same operand keys, same stores) but deliberately skewed chain
+// lengths, by cycling each chain through its own GEMM list. Because every
+// GEMM of the result is a copy of a GEMM the base chain already performed,
+// all block keys, offsets and matrix shapes stay valid: the transformed
+// plan passes the static verifier and executes against the original tensor
+// stores unchanged. Total GEMM count is normalized to the base plan's, so
+// throughput comparisons across plans measure *distribution*, not volume.
+//
+// Placement leverage: the PTG executor homes chain L1 on rank L1 % nranks,
+// so skew aligned to id residues translates directly into inter-node load
+// imbalance.
+//
+//   make_skewed_plan      — "skewed-tile": Zipf(alpha) chain lengths with
+//                           the heaviest chains clustered on hot_ranks'
+//                           residues. A few hot nodes own nearly all the
+//                           work; everyone else idles — the best case for
+//                           steal-half migration.
+//   make_nested_imbalance — two-tier skew: rank work budgets are Zipf over
+//                           a seeded rank permutation, and *within* each
+//                           rank its chains are Zipf again. No single
+//                           steal-half fixes this shape; the steal agent
+//                           must keep re-targeting as the residual
+//                           imbalance shifts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tce/chain_plan.h"
+
+namespace mp::tce {
+
+struct ImbalanceSpec {
+  /// Ranks the transformed plan will be executed on (the residue classes
+  /// the generator aims at). Must match the run's actual nranks for the
+  /// skew to land where intended.
+  int nranks = 8;
+  /// Residues receiving the heaviest chains (skewed-tile only). Entries
+  /// are taken mod nranks.
+  std::vector<int> hot_ranks = {0};
+  /// Zipf exponent; larger = more extreme skew. 0 degenerates to uniform.
+  double zipf_alpha = 1.2;
+  /// Floor/cap on transformed chain lengths (cap 0 = uncapped).
+  int min_len = 1;
+  int max_len = 0;
+  /// Seed for the nested generator's rank permutation.
+  uint64_t seed = 42;
+
+  void validate() const;
+};
+
+/// Skewed-tile workload: Zipf chain lengths, heaviest chains on hot ranks.
+ChainPlan make_skewed_plan(const ChainPlan& base, const ImbalanceSpec& spec);
+
+/// Nested imbalance: Zipf budget across ranks, Zipf lengths within a rank.
+ChainPlan make_nested_imbalance_plan(const ChainPlan& base,
+                                     const ImbalanceSpec& spec);
+
+/// Work (GEMM count) per residue class, i.e. per rank under the executor's
+/// L1 % nranks placement — what the generators skew and the steal agent
+/// re-balances. Exposed for tests and bench reporting.
+std::vector<int64_t> work_per_rank(const ChainPlan& plan, int nranks);
+
+}  // namespace mp::tce

@@ -241,6 +241,10 @@ PtgBuild build_ptg(const ChainPlan& plan, const StoreList& stores,
   {
     TaskClass c;
     c.name = var.parallel_writes ? "WRITE_C_i" : "WRITE_C";
+    // The body serializes through this rank's node-level write mutex and
+    // accumulates into locally-owned GA blocks — both are rank-local state
+    // the steal agent must not ship to another node.
+    c.migratable = false;
     // Placed on the rank that owns the target block in the GA (Fig. 8).
     c.rank_of = [pl, st](const Params& p) {
       const Chain& ch = pl->chains[static_cast<size_t>(p[0])];

@@ -19,6 +19,9 @@ PtgExecResult execute_ptg(vc::RankCtx& rctx, const ChainPlan& plan,
   ropts.policy = opts.policy;
   ropts.use_priorities = opts.variant.priorities;
   ropts.enable_tracing = opts.enable_tracing;
+  ropts.enable_stealing = opts.enable_stealing;
+  ropts.steal_max_batch = opts.steal_max_batch;
+  ropts.migration_observer = opts.ledger;
 
   ptg::Context ctx(rctx, build.pool, ropts);
   ctx.run();
@@ -26,9 +29,11 @@ PtgExecResult execute_ptg(vc::RankCtx& rctx, const ChainPlan& plan,
   PtgExecResult res;
   res.trace = ctx.trace();
   res.tasks_executed = ctx.tasks_executed();
+  res.tasks_completed = ctx.tasks_completed();
   res.expected_tasks = ctx.expected_tasks();
   res.remote_activations = ctx.remote_activations_sent();
   res.sched = ctx.scheduler_stats();
+  res.steal = ctx.steal_stats();
   for (size_t i = 0; i < build.pool.num_classes(); ++i) {
     res.class_names.push_back(build.pool.cls(static_cast<int16_t>(i)).name);
   }

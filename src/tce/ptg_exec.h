@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "ga/migration.h"
 #include "ptg/context.h"
 #include "tce/chain_plan.h"
 #include "tce/storage.h"
@@ -38,15 +39,25 @@ struct PtgExecOptions {
   int workers_per_rank = 2;
   ptg::SchedPolicy policy = ptg::SchedPolicy::kPriority;
   bool enable_tracing = false;
+  /// Inter-node work stealing (DESIGN.md §9): idle ranks pull ready,
+  /// migratable tasks from loaded victims. Static placement stays the
+  /// common case; stealing only moves work once a rank runs dry.
+  bool enable_stealing = false;
+  int steal_max_batch = 16;
+  /// Optional process-wide ownership-transfer ledger, shared by every
+  /// rank's executor so holder_of() answers coherently across the job.
+  ga::MigrationLedger* ledger = nullptr;
 };
 
 struct PtgExecResult {
   ptg::Trace trace;                     ///< this rank's events
   std::vector<std::string> class_names; ///< class id -> name (for rendering)
-  uint64_t tasks_executed = 0;
+  uint64_t tasks_executed = 0;          ///< bodies run here (incl. stolen-in)
+  uint64_t tasks_completed = 0;         ///< own tasks finished anywhere
   uint64_t expected_tasks = 0;
   uint64_t remote_activations = 0;
   ptg::SchedStats sched;                ///< steal/contention counters
+  ptg::StealStats steal;                ///< inter-node migration counters
 };
 
 /// Execute the plan over the PTG runtime. Collective across ranks. Works

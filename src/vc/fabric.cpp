@@ -26,6 +26,7 @@ Fabric::Fabric(std::vector<Mailbox>* mailboxes, FabricConfig cfg)
       rng_(cfg_.fault_seed) {
   MP_REQUIRE(mailboxes_ != nullptr && !mailboxes_->empty(),
              "Fabric: need at least one mailbox");
+  wire_seq_ = std::vector<std::atomic<uint64_t>>(mailboxes_->size());
   if (delayed_) {
     delivery_thread_ = std::thread([this] { delivery_loop(); });
   }
@@ -62,6 +63,13 @@ void Fabric::deliver(Message m) {
 void Fabric::send(Message m) {
   MP_REQUIRE(m.dst >= 0 && static_cast<size_t>(m.dst) < mailboxes_->size(),
              "Fabric::send: bad destination rank");
+  // Stamp the per-source wire sequence before any fault is drawn: a dup
+  // fault then produces two copies with the same seq, and the destination
+  // mailbox can discard the second one (idempotent delivery).
+  if (m.src >= 0 && static_cast<size_t>(m.src) < wire_seq_.size()) {
+    m.seq = 1 + wire_seq_[static_cast<size_t>(m.src)].fetch_add(
+                    1, std::memory_order_relaxed);
+  }
   const FaultConfig& fc = fault_for(m.src, m.dst);
 
   if (!delayed_) {

@@ -169,6 +169,10 @@ class Fabric {
   std::condition_variable cv_;
   std::priority_queue<Pending, std::vector<Pending>, std::greater<>> pending_;
   Rng rng_;  // fault RNG, guarded by mu_
+  /// Per-source wire sequence counters (index = src rank). Each accepted
+  /// message is stamped with the next value before any fault is drawn, so
+  /// an injected duplicate is a byte-identical copy, seq included.
+  std::vector<std::atomic<uint64_t>> wire_seq_;
   uint64_t next_seq_ = 0;
   bool stopping_ = false;
   std::thread delivery_thread_;

@@ -1,13 +1,22 @@
 // Blocking multi-producer multi-consumer mailbox holding inbound messages of
 // one rank. Supports non-blocking polls (used by the runtime's comm thread)
 // and bounded waits, plus a close() that wakes all waiters (shutdown path).
+//
+// Delivery is idempotent: each fabric-stamped message carries a per-source
+// wire sequence number, and the mailbox keeps a per-source window (exactly-
+// once filter) that discards any seq it has already accepted. A duplicated
+// activation therefore reaches the runtime once, no matter how often the
+// fabric's dup fault re-delivers it.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 
 #include "support/analysis.h"
 #include "vc/message.h"
@@ -16,11 +25,18 @@ namespace mp::vc {
 
 class Mailbox {
  public:
-  /// Enqueue a message. Returns false if the mailbox was closed.
+  /// Enqueue a message. Returns false if the mailbox was closed. A
+  /// duplicate (same src, same nonzero seq as an earlier accepted push) is
+  /// silently discarded and counted, but still reports success — from the
+  /// fabric's point of view the redundant copy was delivered.
   bool push(Message m) {
     {
       std::lock_guard lock(mu_);
       if (closed_) return false;
+      if (m.seq != 0 && !accept_seq_locked(m.src, m.seq)) {
+        duplicates_filtered_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
       queue_.push_back(std::move(m));
       // Happens-before edge for the lifecycle checker: the popper's
       // channel_recv joins this sender's clock.
@@ -63,7 +79,33 @@ class Mailbox {
     return queue_.size();
   }
 
+  /// Messages discarded by the per-source sequence filter.
+  uint64_t duplicates_filtered() const {
+    return duplicates_filtered_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// Exactly-once window for one source: every seq <= watermark has been
+  /// accepted, plus the out-of-order set above it. The set stays small in
+  /// FIFO operation (it drains into the watermark) and is bounded by the
+  /// number of in-flight reordered messages otherwise; gaps left by genuine
+  /// drops simply pin the watermark, which is still correct.
+  struct SeqWindow {
+    uint64_t watermark = 0;
+    std::set<uint64_t> above;
+  };
+
+  bool accept_seq_locked(int src, uint64_t seq) {
+    SeqWindow& w = windows_[src];
+    if (seq <= w.watermark) return false;
+    if (!w.above.insert(seq).second) return false;
+    while (!w.above.empty() && *w.above.begin() == w.watermark + 1) {
+      w.above.erase(w.above.begin());
+      ++w.watermark;
+    }
+    return true;
+  }
+
   std::optional<Message> pop_locked() {
     if (queue_.empty()) return std::nullopt;
     Message m = std::move(queue_.front());
@@ -75,6 +117,8 @@ class Mailbox {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
+  std::map<int, SeqWindow> windows_;
+  std::atomic<uint64_t> duplicates_filtered_{0};
   bool closed_ = false;
 };
 

@@ -19,6 +19,11 @@ struct Message {
   int src = -1;
   int dst = -1;
   int tag = 0;
+  /// Wire sequence number, stamped by the fabric per source rank (1-based;
+  /// 0 = unstamped, e.g. a message pushed straight into a mailbox by a
+  /// test). Injected duplicates carry the same seq as the original, which
+  /// is what lets the destination mailbox discard them (see Mailbox).
+  uint64_t seq = 0;
   Payload payload;
 };
 
@@ -28,15 +33,13 @@ class WireWriter {
   template <typename T>
   void put(const T& v) {
     static_assert(std::is_trivially_copyable_v<T>);
-    const size_t at = buf_.size();
-    buf_.resize(at + sizeof(T));
-    std::memcpy(buf_.data() + at, &v, sizeof(T));
+    const auto* p = reinterpret_cast<const uint8_t*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
   }
 
   void put_bytes(const void* p, size_t n) {
-    const size_t at = buf_.size();
-    buf_.resize(at + n);
-    std::memcpy(buf_.data() + at, p, n);
+    const auto* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
   }
 
   void put_doubles(const double* p, size_t n) {

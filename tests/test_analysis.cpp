@@ -198,6 +198,42 @@ TEST_F(CheckerTest, TlsReleaseAllowsAddressReuse) {
   EXPECT_EQ(C().finding_count(), 0u) << C().report();
 }
 
+TEST_F(CheckerTest, UseAfterMigrateIsMPA007) {
+  // Hand-off to the fabric is not a release: the local reference still
+  // owns the allocation, but the remote side owns the *data* — any
+  // later read or write here is a stale access.
+  int obj = 0;
+  C().obj_create(&obj, "DataBuf");
+  C().obj_migrate(&obj, "DataBuf");
+  C().obj_read(&obj, "DataBuf");
+  C().obj_write(&obj, "DataBuf");
+  EXPECT_EQ(count_kind(FindingKind::kMigratedAccess), 2u);
+  EXPECT_NE(C().report().find("MPA007"), std::string::npos);
+}
+
+TEST_F(CheckerTest, DoubleMigrateIsMPA007) {
+  int obj = 0;
+  C().obj_create(&obj, "DataBuf");
+  C().obj_migrate(&obj, "DataBuf");
+  C().obj_migrate(&obj, "DataBuf");
+  EXPECT_EQ(count_kind(FindingKind::kMigratedAccess), 1u);
+}
+
+TEST_F(CheckerTest, MigratedBufStillReleasesExactlyOnce) {
+  // The victim's serialize-then-free path: migrate, then destroy the
+  // local reference. Clean — and the destroy re-arms the address, so a
+  // pool recycle after migration tracks the NEW incarnation cleanly.
+  int obj = 0;
+  C().obj_create(&obj, "DataBuf");
+  C().obj_migrate(&obj, "DataBuf");
+  C().obj_destroy(&obj, "DataBuf");
+  EXPECT_EQ(C().finding_count(), 0u) << C().report();
+  C().obj_create(&obj, "DataBuf");
+  C().obj_read(&obj, "DataBuf");
+  C().obj_write(&obj, "DataBuf");
+  EXPECT_EQ(C().finding_count(), 0u) << C().report();
+}
+
 TEST_F(CheckerTest, FindingsCarrySymbolicTaskNames) {
   int obj = 0;
   const int32_t params[2] = {3, 1};

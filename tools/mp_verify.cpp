@@ -26,6 +26,7 @@
 #include "ga/global_array.h"
 #include "tce/block_tensor.h"
 #include "tce/chain_plan.h"
+#include "tce/imbalance.h"
 #include "tce/inspector.h"
 #include "tce/storage.h"
 #include "tce/tiles.h"
@@ -82,19 +83,33 @@ void add_store(Workload& w, vc::Cluster* cluster, tce::BlockTensor4* shape) {
 }
 
 Workload make_workload(const std::string& kind, const std::string& spec_name,
-                       const tce::TileSpaceSpec& spec, vc::Cluster* cluster) {
+                       const tce::TileSpaceSpec& spec, vc::Cluster* cluster,
+                       int nranks) {
   Workload w;
   w.name = kind + "/" + spec_name;
   w.space = std::make_unique<tce::TileSpace>(spec);
   const auto kV = RangeKind::kVirt, kO = RangeKind::kOcc;
   auto* t = add_shape(w, {kV, kV, kO, kO});
   auto* r = add_shape(w, {kV, kV, kO, kO}, true, true);
-  if (kind == "t2_7" || kind == "fused") {
+  const bool on_t2_7 =
+      kind == "t2_7" || kind == "fused" || kind == "skewed" ||
+      kind == "nested";
+  if (on_t2_7) {
     auto* v = add_shape(w, {kV, kV, kV, kV});
     add_store(w, cluster, v);
     add_store(w, cluster, t);
     add_store(w, cluster, r);
     w.plan = tce::inspect_t2_7(*w.space, {v, t, r});
+  }
+  if (kind == "skewed" || kind == "nested") {
+    // Imbalanced chain-length transforms of the t2_7 plan (the work-
+    // stealing workloads, DESIGN.md §9). Same stores, same block keys —
+    // only the GEMM lists change, so every static pass must still hold.
+    tce::ImbalanceSpec imb;
+    imb.nranks = nranks;
+    w.plan = kind == "skewed"
+                 ? tce::make_skewed_plan(w.plan, imb)
+                 : tce::make_nested_imbalance_plan(w.plan, imb);
   }
   if (kind == "hh_ladder") {
     auto* ww = add_shape(w, {kO, kO, kO, kO});
@@ -116,7 +131,7 @@ Workload make_workload(const std::string& kind, const std::string& spec_name,
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--workload=all|t2_7|hh_ladder|fused]\n"
+               "usage: %s [--workload=all|t2_7|hh_ladder|fused|skewed|nested]\n"
                "          [--spec=all|small|irreps] "
                "[--variant=all|v1|v2|v3|v4|v5]\n"
                "          [--nranks=N] [--quiet]\n",
@@ -169,7 +184,7 @@ int main(int argc, char** argv) {
   if (specs.empty()) return usage(argv[0]);
 
   std::vector<std::string> kinds;
-  for (const char* k : {"t2_7", "hh_ladder", "fused"}) {
+  for (const char* k : {"t2_7", "hh_ladder", "fused", "skewed", "nested"}) {
     if (want_workload == "all" || want_workload == k) kinds.push_back(k);
   }
   if (kinds.empty()) return usage(argv[0]);
@@ -177,7 +192,8 @@ int main(int argc, char** argv) {
   size_t combos = 0, failures = 0, total_diags = 0;
   for (const auto& [spec_name, spec] : specs) {
     for (const auto& kind : kinds) {
-      const Workload w = make_workload(kind, spec_name, spec, &cluster);
+      const Workload w =
+          make_workload(kind, spec_name, spec, &cluster, nranks);
       for (const auto& variant : tce::VariantConfig::all()) {
         if (want_variant != "all" && want_variant != variant.name) continue;
         ++combos;
