@@ -32,6 +32,25 @@ void MigrationLedger::credited(const ptg::TaskKey& key, int home,
   completed_.fetch_add(1, std::memory_order_release);
 }
 
+void MigrationLedger::reassigned(const ptg::TaskKey& key, int home,
+                                 int new_holder) {
+  {
+    std::lock_guard lock(mu_);
+    auto it = live_.find(Key{key, home});
+    // The dead thief's entry is retired without a credit. When the task is
+    // re-homed to the home rank itself (the only case today) no new entry
+    // is needed; a future re-steal records a fresh migration normally.
+    if (it != live_.end()) {
+      if (new_holder == home) {
+        live_.erase(it);
+      } else {
+        it->second = new_holder;
+      }
+    }
+  }
+  reassigned_.fetch_add(1, std::memory_order_release);
+}
+
 int MigrationLedger::holder_of(const ptg::TaskKey& key, int home) const {
   std::lock_guard lock(mu_);
   const auto it = live_.find(Key{key, home});
@@ -48,10 +67,18 @@ std::string MigrationLedger::validate() const {
   // after the matching recorded increment, so completed <= recorded holds
   // in any snapshot.
   const uint64_t done = completed_.load(std::memory_order_acquire);
+  const uint64_t reh = reassigned_.load(std::memory_order_acquire);
   const uint64_t rec = recorded_.load(std::memory_order_acquire);
   if (done > rec) {
     return "MigrationLedger: completed (" + std::to_string(done) +
            ") > recorded (" + std::to_string(rec) + ")";
+  }
+  // Every reassignment retires (or redirects) a recorded migration, and a
+  // migration is retired at most once — by its credit or its reassignment.
+  if (done + reh > rec) {
+    return "MigrationLedger: completed (" + std::to_string(done) +
+           ") + reassigned (" + std::to_string(reh) + ") > recorded (" +
+           std::to_string(rec) + ")";
   }
   std::lock_guard lock(mu_);
   if (live_.size() > rec) {
@@ -67,6 +94,7 @@ std::string MigrationLedger::describe() const {
   std::ostringstream os;
   os << "migrations recorded=" << recorded() << " credited=" << completed()
      << " in_flight=" << inflight;
+  if (reassigned_count() > 0) os << " reassigned=" << reassigned_count();
   return os.str();
 }
 

@@ -31,6 +31,13 @@ class MigrationLedger final : public ptg::MigrationObserver {
   /// Victim side: the thief's credit arrived — the migrated task finished.
   void credited(const ptg::TaskKey& key, int home, int holder) override;
 
+  /// Victim side, rank-failure recovery: the holder of an in-flight
+  /// migration was confirmed dead and the task was re-homed to
+  /// `new_holder` (the home rank itself when it re-injects). The holder
+  /// entry is dropped — no credit will ever arrive for the dead thief —
+  /// so holder_of() answers `home` again while the replacement runs.
+  void reassigned(const ptg::TaskKey& key, int home, int new_holder) override;
+
   /// Current holder of a task: the thief's rank while the migration is in
   /// flight, else `home` (rank_of stays authoritative for anything never
   /// stolen or already credited).
@@ -44,6 +51,9 @@ class MigrationLedger final : public ptg::MigrationObserver {
   }
   uint64_t completed() const {
     return completed_.load(std::memory_order_acquire);
+  }
+  uint64_t reassigned_count() const {
+    return reassigned_.load(std::memory_order_acquire);
   }
 
   /// Internal-consistency self check; "" when consistent. Mirrors the
@@ -77,6 +87,7 @@ class MigrationLedger final : public ptg::MigrationObserver {
   std::unordered_map<Key, int, KeyHash> live_;  ///< -> holder rank
   std::atomic<uint64_t> recorded_{0};
   std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> reassigned_{0};
 };
 
 }  // namespace mp::ga

@@ -1,7 +1,9 @@
 #include "ptg/context.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdlib>
+#include <set>
 #include <sstream>
 #include <thread>
 
@@ -29,6 +31,15 @@ Context::Context(vc::RankCtx& rank_ctx, const Taskpool& pool, Options opts)
                    (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(rank() + 1)));
   if (rank() == 0) {
     rank_done_seen_.assign(static_cast<size_t>(nranks()), 0);
+    rank_done_mask_.assign(static_cast<size_t>(nranks()), 0);
+  }
+  if (failure_active()) {
+    MP_REQUIRE(nranks() <= 64,
+               "failure detection supports at most 64 ranks (dead-set mask)");
+    lineage_.resize(static_cast<size_t>(nranks()));
+    last_heard_.resize(static_cast<size_t>(nranks()));
+    peer_suspect_.assign(static_cast<size_t>(nranks()), 0);
+    suspect_since_.resize(static_cast<size_t>(nranks()));
   }
 }
 
@@ -46,6 +57,32 @@ StealStats Context::steal_stats() const {
   s.replies_sent = st_replies_sent_.load(std::memory_order_acquire);
   s.requests_received = st_requests_received_.load(std::memory_order_acquire);
   s.requests_sent = st_requests_sent_.load(std::memory_order_acquire);
+  return s;
+}
+
+FailureStats Context::failure_stats() const {
+  // Recovery-work counters are read before deaths_confirmed (and are
+  // incremented after it, release-ordered), so "adopted > 0 with deaths ==
+  // 0" can never be observed. The equality invariants are meaningful for
+  // post-run snapshots only (see the struct's comment).
+  FailureStats s;
+  s.tasks_adopted = fs_tasks_adopted_.load(std::memory_order_acquire);
+  s.lineage_replayed = fs_lineage_replayed_.load(std::memory_order_acquire);
+  s.tasks_reinjected = fs_tasks_reinjected_.load(std::memory_order_acquire);
+  s.suspicions_cleared =
+      fs_suspicions_cleared_.load(std::memory_order_acquire);
+  s.deaths_confirmed = fs_deaths_confirmed_.load(std::memory_order_acquire);
+  s.watchdog_resets_on_death =
+      fs_watchdog_resets_on_death_.load(std::memory_order_acquire);
+  s.suspicions = fs_suspicions_.load(std::memory_order_acquire);
+  s.probes_answered = fs_probes_answered_.load(std::memory_order_acquire);
+  s.probes_sent = fs_probes_sent_.load(std::memory_order_acquire);
+  s.heartbeats_sent = fs_heartbeats_sent_.load(std::memory_order_acquire);
+  s.heartbeats_received =
+      fs_heartbeats_received_.load(std::memory_order_acquire);
+  s.fenced_dropped = fs_fenced_dropped_.load(std::memory_order_acquire);
+  s.dup_deposits_dropped =
+      fs_dup_deposits_dropped_.load(std::memory_order_acquire);
   return s;
 }
 
@@ -74,7 +111,7 @@ void Context::enumerate_startup() {
     for (const Params& p : c.enumerate_rank(rank())) {
       MP_DCHECK(c.rank_of(p) == rank(),
                 "enumerate_rank returned instance not owned by this rank");
-      ++expected_;
+      expected_.fetch_add(1, std::memory_order_relaxed);
       if (c.num_task_inputs(p) == 0) {
         make_ready(TaskKey{c.cls, p}, {}, /*worker_hint=*/-1);
       }
@@ -113,10 +150,19 @@ void Context::make_ready(const TaskKey& key, std::vector<DataBuf> inputs,
 void Context::deposit(const TaskKey& key, int slot, DataBuf buf,
                       std::vector<ReadyTask>* batch) {
   MP_REQUIRE(slot >= 0 && slot < 128, "deposit: bad input slot");
+  const bool ft = failure_active();
   Shard& shard = shards_[TaskKeyHash{}(key) % kShards];
   std::vector<DataBuf> ready_inputs;
   {
     std::lock_guard lock(shard.mu);
+    // Recovery re-executes whole chains, so a replayed activation can race
+    // (or trail) the original delivery. With the failure machinery on,
+    // deposits are idempotent: a second copy — for an already-activated key
+    // or an already-filled slot — is dropped and counted, not fatal.
+    if (ft && shard.activated.count(key) != 0) {
+      fs_dup_deposits_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     Pending& e = shard.map[key];
     if (!e.initialized) {
       e.threshold = pool_.cls(key.cls).num_task_inputs(key.p);
@@ -127,8 +173,13 @@ void Context::deposit(const TaskKey& key, int slot, DataBuf buf,
     if (e.inputs.size() <= static_cast<size_t>(slot)) {
       e.inputs.resize(static_cast<size_t>(slot) + 1);
     }
-    MP_REQUIRE(e.inputs[static_cast<size_t>(slot)] == nullptr,
-               "double deposit into the same input slot");
+    if (e.inputs[static_cast<size_t>(slot)] != nullptr) {
+      if (ft) {
+        fs_dup_deposits_dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      MP_REQUIRE(false, "double deposit into the same input slot");
+    }
     e.inputs[static_cast<size_t>(slot)] = std::move(buf);
     // The shard is a hand-off point: the depositing thread publishes the
     // buffer, the thread completing the threshold takes the whole set over.
@@ -138,6 +189,21 @@ void Context::deposit(const TaskKey& key, int slot, DataBuf buf,
     MP_ANNOTATE_CHANNEL_RECV(&shard);
     ready_inputs = std::move(e.inputs);
     shard.map.erase(key);
+    if (ft) shard.activated.insert(key);
+  }
+  if (ft) {
+    // A completed key homed on another rank reached us through recovery
+    // rerouting. It must not run (or count) before this rank has formally
+    // adopted it — park it until handle_confirmed_death's sweep; if the
+    // adoption already happened, fall through and schedule normally.
+    const int home = pool_.cls(key.cls).rank_of(key.p);
+    if (home != rank()) {
+      std::lock_guard lock(adopt_mu_);
+      if (adopted_keys_.count(key) == 0) {
+        held_ready_.emplace(key, std::move(ready_inputs));
+        return;
+      }
+    }
   }
   if (batch) {
     batch->push_back(build_task(key, std::move(ready_inputs)));
@@ -178,10 +244,14 @@ void Context::execute_task(ReadyTask t, int wid) {
                  "task '" + c.name + "' routed output slot " +
                      std::to_string(r.out_slot) + " but never set it");
       const DataBuf& buf = tctx.outputs()[static_cast<size_t>(r.out_slot)];
-      const int dst = cc.rank_of(r.consumer.p);
+      // Under failure tolerance the consumer may live on a stand-in rank
+      // (its home is confirmed dead); route to wherever it lives *now*.
+      const int dst = failure_active() ? effective_rank(r.consumer)
+                                       : cc.rank_of(r.consumer.p);
       if (dst == rank()) {
         deposit(r.consumer, r.in_slot, buf, &batch);
       } else {
+        if (failure_active()) record_lineage(dst, r.consumer, r.in_slot, buf);
         vc::WireWriter w;
         // Load hint piggybacked on every activation: receivers feed it to
         // their steal agent's victim selection.
@@ -244,48 +314,85 @@ void Context::execute_task(ReadyTask t, int wid) {
 }
 
 void Context::maybe_local_complete() {
-  // Each own task bumps exactly one of executed_ / st_credits_received_, so
-  // the sum is monotone and can never transiently exceed expected_.
+  // Each own/adopted task bumps exactly one of executed_ /
+  // st_credits_received_ (post-confirmation credits from a dead holder are
+  // fenced before reaching the counter), so the sum is monotone; expected_
+  // only grows (adoption), and it grows before the adopted work can run.
+  // `<` rather than `!=`: after a death expands expected_, a transient
+  // equality at the *old* value must not be mistaken for completion twice —
+  // the latch below plus the epoch reset in handle_confirmed_death handle
+  // re-reporting.
   if (executed_.load(std::memory_order_acquire) +
-          st_credits_received_.load(std::memory_order_acquire) !=
-      expected_) {
+          st_credits_received_.load(std::memory_order_acquire) <
+      expected_.load(std::memory_order_acquire)) {
     return;
   }
   if (local_complete_.exchange(true, std::memory_order_acq_rel)) return;
-  if (!stealing_active()) {
+  if (!global_termination()) {
     done_.store(true, std::memory_order_release);
     wake_all();
     return;
   }
-  // Global termination: report local completion to the coordinator. This
-  // rank keeps its comm thread (and steal agent) running until JOB_DONE —
-  // an idle-but-done rank still serves and issues steals.
+  // Global termination: report local completion to the coordinator, tagged
+  // with this rank's confirmed-dead mask (the termination epoch). This rank
+  // keeps its comm thread (steal agent, failure detector) running until
+  // JOB_DONE — an idle-but-done rank still serves steals and heartbeats.
+  const uint64_t mask = confirmed_dead_mask_.load(std::memory_order_acquire);
   if (rank() == 0) {
-    note_rank_done(0);
+    note_rank_done(0, mask);
   } else {
-    rctx_.send(0, kTagLocalDone, {});
+    vc::WireWriter w;
+    w.put<uint64_t>(mask);
+    rctx_.send(0, kTagLocalDone, w.take());
   }
 }
 
-bool Context::note_rank_done(int r) {
-  bool broadcast = false;
-  {
-    std::lock_guard lock(term_mu_);
-    if (r < 0 || static_cast<size_t>(r) >= rank_done_seen_.size() ||
-        rank_done_seen_[static_cast<size_t>(r)]) {
+bool Context::termination_check_locked() {
+  // A rank counts as done when it is dead (its lost work was adopted and is
+  // counted by the adopters) or when it has reported local completion with
+  // a dead-set view covering rank 0's: a pre-death report is stale — the
+  // reporter has since adopted work or must re-check against replays.
+  const uint64_t my_dead = confirmed_dead_mask_.load(std::memory_order_acquire);
+  for (int r = 0; r < nranks(); ++r) {
+    if ((my_dead >> r) & 1ULL) continue;
+    if (!rank_done_seen_[static_cast<size_t>(r)]) return false;
+    if ((rank_done_mask_[static_cast<size_t>(r)] & my_dead) != my_dead) {
       return false;
     }
+  }
+  return true;
+}
+
+bool Context::note_rank_done(int r, uint64_t dead_mask) {
+  bool broadcast = false;
+  bool fresh = false;
+  {
+    std::lock_guard lock(term_mu_);
+    if (r < 0 || static_cast<size_t>(r) >= rank_done_seen_.size()) {
+      return false;
+    }
+    fresh = rank_done_seen_[static_cast<size_t>(r)] == 0;
     rank_done_seen_[static_cast<size_t>(r)] = 1;
-    broadcast = ++ranks_done_count_ == nranks();
+    rank_done_mask_[static_cast<size_t>(r)] |= dead_mask;
+    if (termination_check_locked() && !job_done_broadcast_) {
+      job_done_broadcast_ = true;
+      broadcast = true;
+    }
   }
   if (broadcast) {
-    // Every rank is locally done; by the credit scheme no migrated task is
-    // uncounted anywhere, so the whole DAG has executed.
-    for (int p = 1; p < nranks(); ++p) rctx_.send(p, kTagJobDone, {});
+    // Every live rank is locally done at the current epoch; by the credit
+    // scheme no migrated task is uncounted anywhere, and by the epoch
+    // reconciliation no adopted task is unexecuted — the whole DAG ran.
+    for (int p = 1; p < nranks(); ++p) {
+      if ((confirmed_dead_mask_.load(std::memory_order_acquire) >> p) & 1ULL) {
+        continue;
+      }
+      rctx_.send(p, kTagJobDone, {});
+    }
     done_.store(true, std::memory_order_release);
     wake_all();
   }
-  return true;
+  return fresh;
 }
 
 namespace {
@@ -311,20 +418,27 @@ void Context::steal_agent_tick(std::chrono::steady_clock::time_point now_tp) {
   }
   // Victim selection: the best (largest) load hint heard so far, falling
   // back to a seeded random peer when nobody advertised work. A hint of 1
-  // is not worth a request — the victim keeps its last task.
+  // is not worth a request — the victim keeps its last task. Confirmed-dead
+  // peers are never victims: the request would blackhole and the reply
+  // timeout would throttle stealing for everyone.
+  const uint64_t dead = confirmed_dead_mask_.load(std::memory_order_acquire);
   int victim = -1;
   int64_t best = 1;
   for (int p = 0; p < nranks(); ++p) {
-    if (p == rank()) continue;
+    if (p == rank() || ((dead >> p) & 1ULL)) continue;
     if (load_hints_[static_cast<size_t>(p)] > best) {
       best = load_hints_[static_cast<size_t>(p)];
       victim = p;
     }
   }
   if (victim < 0) {
-    const auto off =
-        1 + steal_rng_.next_below(static_cast<uint64_t>(nranks() - 1));
-    victim = (rank() + static_cast<int>(off)) % nranks();
+    for (int tries = 0; tries < 4 && victim < 0; ++tries) {
+      const auto off =
+          1 + steal_rng_.next_below(static_cast<uint64_t>(nranks() - 1));
+      const int cand = (rank() + static_cast<int>(off)) % nranks();
+      if (((dead >> cand) & 1ULL) == 0) victim = cand;
+    }
+    if (victim < 0) return;  // everyone drawn was dead; try next tick
   }
   // Consume the hint so an empty-handed victim is not hammered while its
   // next reply (which refreshes the hint) is in flight.
@@ -398,6 +512,16 @@ void Context::serve_steal_request(const vc::Message& msg) {
     for (const DataBuf& in : t.inputs) {
       if (in) MP_ANNOTATE_BUF_MIGRATE(in.get());
     }
+    if (failure_active()) {
+      // Retain the handles (not the contents) so the task can be re-injected
+      // locally if the thief dies before its credit arrives. The buffers
+      // stay annotated as migrated; re-injection REHOMEs them first.
+      OutstandingMig om;
+      om.holder = msg.src;
+      om.priority = t.priority;
+      om.inputs = t.inputs;
+      outstanding_migs_[t.key] = std::move(om);
+    }
   }
   // Reply counted before the tasks it carries (release), so a snapshot
   // observing migrated-out tasks always observes the reply too.
@@ -458,24 +582,340 @@ void Context::absorb_steal_reply(const vc::Message& msg) {
   }
 }
 
-void Context::record_error() {
+void Context::record_error(const std::string& reason) {
   {
     std::lock_guard lock(error_mu_);
     if (!first_error_) first_error_ = std::current_exception();
   }
   // Tell every other rank: their remaining tasks may depend on activations
   // this rank will never send, so they must unwind too or the job
-  // deadlocks at scale.
+  // deadlocks at scale. The reason (when given) rides in the payload so
+  // peers surface the actual cause, not a generic task failure.
   if (!abort_broadcast_.exchange(true)) {
+    vc::Payload payload(reason.begin(), reason.end());
     for (int r = 0; r < nranks(); ++r) {
       if (r == rank()) continue;
-      rctx_.send(r, kTagAbort, {});
+      rctx_.send(r, kTagAbort, payload);
     }
   }
   // Force a shutdown: remaining tasks will never run, but every thread
   // must unwind cleanly so run() can rethrow.
   done_.store(true, std::memory_order_release);
   wake_all();
+}
+
+int Context::effective_rank(const TaskKey& key) const {
+  const int home = pool_.cls(key.cls).rank_of(key.p);
+  const uint64_t dead = confirmed_dead_mask_.load(std::memory_order_acquire);
+  if (dead == 0 || ((dead >> home) & 1ULL) == 0) return home;
+  switch (opts_.on_rank_failure) {
+    case FailurePolicy::kRetry: {
+      // Next live rank after the home in ring order: keeps the original
+      // distribution for everything except the dead rank's keys.
+      for (int i = 1; i < nranks(); ++i) {
+        const int cand = (home + i) % nranks();
+        if (((dead >> cand) & 1ULL) == 0) return cand;
+      }
+      return home;
+    }
+    case FailurePolicy::kDegrade: {
+      // Rebuild over the surviving communicator: hash the key over the
+      // ordered survivor list. Deterministic in (key, dead set) only.
+      int survivors[64];
+      int ns = 0;
+      for (int r = 0; r < nranks(); ++r) {
+        if (((dead >> r) & 1ULL) == 0) survivors[ns++] = r;
+      }
+      if (ns == 0) return home;
+      return survivors[TaskKeyHash{}(key) % static_cast<size_t>(ns)];
+    }
+    case FailurePolicy::kAbort:
+      break;  // escalating anyway; keep routes stable
+  }
+  return home;
+}
+
+void Context::record_lineage(int dst, const TaskKey& consumer, int slot,
+                             const DataBuf& buf) {
+  std::lock_guard lock(lin_mu_);
+  lineage_[static_cast<size_t>(dst)].push_back(
+      LineageEntry{consumer, static_cast<int8_t>(slot), buf});
+}
+
+namespace {
+// Heartbeat payload flags.
+constexpr uint8_t kBeat = 0;
+constexpr uint8_t kProbe = 1;
+constexpr uint8_t kProbeAnswer = 2;
+}  // namespace
+
+void Context::send_heartbeat(int dst, uint8_t flag) {
+  vc::WireWriter w;
+  w.put<int64_t>(static_cast<int64_t>(sched_->size()));
+  w.put<uint8_t>(flag);
+  rctx_.send(dst, kTagHeartbeat, w.take());
+  fs_heartbeats_sent_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Context::on_heartbeat(const vc::Message& msg) {
+  fs_heartbeats_received_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    vc::WireReader r(msg.payload);
+    const int64_t load = r.get<int64_t>();
+    if (msg.src >= 0 && static_cast<size_t>(msg.src) < load_hints_.size()) {
+      load_hints_[static_cast<size_t>(msg.src)] = load;
+    }
+    const uint8_t flag = r.get<uint8_t>();
+    if (flag == kProbe) {
+      // Answer instantly: a slow-but-alive peer clears its suspicion at
+      // the prober, a dead one cannot answer — that asymmetry is the whole
+      // suspicion protocol.
+      send_heartbeat(msg.src, kProbeAnswer);
+    } else if (flag == kProbeAnswer) {
+      fs_probes_answered_.fetch_add(1, std::memory_order_release);
+    }
+  } catch (...) {
+    // Malformed heartbeat: liveness was already refreshed at pop; ignore.
+  }
+}
+
+void Context::detector_tick(std::chrono::steady_clock::time_point now_tp) {
+  if (done_.load(std::memory_order_acquire)) return;
+  const uint64_t dead = confirmed_dead_mask_.load(std::memory_order_acquire);
+  if (now_tp >= next_heartbeat_) {
+    for (int p = 0; p < nranks(); ++p) {
+      if (p == rank() || ((dead >> p) & 1ULL)) continue;
+      send_heartbeat(p, kBeat);
+    }
+    next_heartbeat_ = now_tp + ms_to_us(opts_.heartbeat_interval_ms);
+  }
+  for (int p = 0; p < nranks(); ++p) {
+    if (p == rank() || ((dead >> p) & 1ULL)) continue;
+    const size_t sp = static_cast<size_t>(p);
+    if (peer_suspect_[sp] == 0) {
+      const double silent_ms =
+          std::chrono::duration<double, std::milli>(now_tp - last_heard_[sp])
+              .count();
+      if (silent_ms > opts_.suspect_after_ms) {
+        peer_suspect_[sp] = 1;
+        suspect_since_[sp] = now_tp;
+        fs_suspicions_.fetch_add(1, std::memory_order_release);
+        fs_probes_sent_.fetch_add(1, std::memory_order_release);
+        send_heartbeat(p, kProbe);
+      }
+    } else {
+      const double suspect_ms =
+          std::chrono::duration<double, std::milli>(now_tp - suspect_since_[sp])
+              .count();
+      if (suspect_ms > opts_.confirm_after_ms) {
+        peer_suspect_[sp] = 0;
+        handle_confirmed_death(p);
+      }
+    }
+  }
+}
+
+void Context::escalate_failure(int dead, uint64_t lost_chains,
+                               const char* why) {
+  std::ostringstream os;
+  os << "rank failure: rank " << dead << " confirmed dead; " << lost_chains
+     << " task instance(s) homed there are lost; policy="
+     << to_string(opts_.on_rank_failure) << "; decision: abort (" << why
+     << ")";
+  const std::string msg = os.str();
+  MP_LOG_ERROR("%s", msg.c_str());
+  try {
+    throw StateError(msg);
+  } catch (...) {
+    record_error(msg);
+  }
+}
+
+void Context::handle_confirmed_death(int dead) {
+  const uint64_t bit = 1ULL << dead;
+  const uint64_t prev =
+      confirmed_dead_mask_.fetch_or(bit, std::memory_order_acq_rel);
+  if ((prev & bit) != 0) return;
+  const uint64_t mask = prev | bit;
+  // deaths_confirmed bounds every recovery-work counter: increment it (and
+  // the paired watchdog-reset counter) before any adoption/replay below.
+  fs_watchdog_resets_on_death_.fetch_add(1, std::memory_order_relaxed);
+  fs_deaths_confirmed_.fetch_add(1, std::memory_order_release);
+  // Exactly one watchdog reset per confirmed death: the death itself is
+  // progress (recovery starts), but must not mask a stuck recovery.
+  progress_.fetch_add(1, std::memory_order_relaxed);
+
+  uint64_t lost = 0;
+  for (size_t ci = 0; ci < pool_.num_classes(); ++ci) {
+    lost += pool_.cls(static_cast<int16_t>(ci)).enumerate_rank(dead).size();
+  }
+  MP_LOG_WARN(
+      "rank %d: confirmed death of rank %d (%llu instance(s) homed there, "
+      "policy=%s)",
+      rank(), dead, static_cast<unsigned long long>(lost),
+      to_string(opts_.on_rank_failure));
+
+  const int ndead = std::popcount(mask);
+  if (dead == 0) {
+    escalate_failure(dead, lost,
+                     "rank 0 coordinates termination; the fail-stop model "
+                     "covers non-root ranks only");
+    return;
+  }
+  if (opts_.on_rank_failure == FailurePolicy::kAbort) {
+    escalate_failure(dead, lost, "policy is abort");
+    return;
+  }
+  if (opts_.on_rank_failure == FailurePolicy::kRetry &&
+      ndead > std::max(0, opts_.retry_limit)) {
+    escalate_failure(dead, lost, "retry limit exhausted");
+    return;
+  }
+  if (opts_.on_rank_failure == FailurePolicy::kDegrade && ndead > 1) {
+    escalate_failure(dead, lost, "degrade tolerates a single death");
+    return;
+  }
+
+  // -- recovery --
+  // 1) Adoption: deterministically partition the victim's instances over
+  // the survivors; this rank takes the ones effective_rank maps here.
+  std::vector<std::pair<const TaskClass*, Params>> mine;
+  for (size_t ci = 0; ci < pool_.num_classes(); ++ci) {
+    const TaskClass& c = pool_.cls(static_cast<int16_t>(ci));
+    for (const Params& p : c.enumerate_rank(dead)) {
+      if (effective_rank(TaskKey{c.cls, p}) == rank()) {
+        mine.emplace_back(&c, p);
+      }
+    }
+  }
+  // Two-pass adoption: reset external side effects (on_adopt, once per
+  // recovery group) BEFORE any adopted instance can become ready — a
+  // re-executed writer must never race its own group's reset.
+  std::set<std::pair<int16_t, int64_t>> groups_done;
+  for (const auto& [c, p] : mine) {
+    if (!c->on_adopt) continue;
+    if (c->recovery_key) {
+      if (!groups_done.emplace(c->cls, c->recovery_key(p)).second) continue;
+    }
+    c->on_adopt(p, dead);
+  }
+  std::vector<std::pair<TaskKey, std::vector<DataBuf>>> drained;
+  {
+    std::lock_guard lock(adopt_mu_);
+    for (const auto& [c, p] : mine) {
+      const TaskKey key{c->cls, p};
+      adopted_keys_.insert(key);
+      auto it = held_ready_.find(key);
+      if (it != held_ready_.end()) {
+        drained.emplace_back(key, std::move(it->second));
+        held_ready_.erase(it);
+      }
+    }
+  }
+  if (!mine.empty()) {
+    // Grow expected_ before anything adopted can execute: the completion
+    // comparison must never transiently see the old target.
+    expected_.fetch_add(mine.size(), std::memory_order_release);
+    fs_tasks_adopted_.fetch_add(mine.size(), std::memory_order_release);
+  }
+  for (const auto& [c, p] : mine) {
+    if (c->num_task_inputs(p) == 0) {
+      make_ready(TaskKey{c->cls, p}, {}, /*worker_hint=*/-1);
+    }
+  }
+  for (auto& [key, inputs] : drained) {
+    make_ready(key, std::move(inputs), /*worker_hint=*/-1);
+  }
+
+  // 2) Lineage replay: re-deliver every activation this rank ever sent
+  // toward the victim, to wherever its consumer lives now. Entries are
+  // re-recorded under the new destination so a second death stays covered.
+  std::vector<LineageEntry> replay;
+  {
+    std::lock_guard lock(lin_mu_);
+    replay.swap(lineage_[static_cast<size_t>(dead)]);
+  }
+  for (LineageEntry& e : replay) {
+    const int dst = effective_rank(e.consumer);
+    fs_lineage_replayed_.fetch_add(1, std::memory_order_release);
+    if (dst == rank()) {
+      deposit(e.consumer, e.slot, e.buf);
+      continue;
+    }
+    record_lineage(dst, e.consumer, e.slot, e.buf);
+    vc::WireWriter w;
+    w.put<int64_t>(static_cast<int64_t>(sched_->size()));
+    w.put<int16_t>(e.consumer.cls);
+    for (int32_t x : e.consumer.p) w.put<int32_t>(x);
+    w.put<int8_t>(e.slot);
+    w.put_doubles(e.buf->data(), e.buf->size());
+    vc::Message m;
+    m.src = rank();
+    m.dst = dst;
+    m.tag = kTagActivate;
+    m.payload = w.take();
+    {
+      std::lock_guard lock(out_mu_);
+      outbox_.push_back(std::move(m));
+    }
+    remote_sent_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // 3) Re-inject own tasks that were migrated to the victim and never
+  // credited: no credit will ever come, so they run here after all. The
+  // retained input handles are re-homed (recovery's ownership epoch) —
+  // accessing them without that annotation is exactly finding MPA008.
+  std::vector<ReadyTask> reinject;
+  for (auto it = outstanding_migs_.begin(); it != outstanding_migs_.end();) {
+    if (it->second.holder != dead) {
+      ++it;
+      continue;
+    }
+    for (const DataBuf& in : it->second.inputs) {
+      if (in) MP_ANNOTATE_BUF_REHOME(in.get());
+    }
+    if (opts_.migration_observer) {
+      opts_.migration_observer->reassigned(it->first, rank(), rank());
+    }
+    ReadyTask t;
+    t.key = it->first;
+    t.priority = it->second.priority;
+    t.inputs = std::move(it->second.inputs);
+    t.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    reinject.push_back(std::move(t));
+    it = outstanding_migs_.erase(it);
+  }
+  if (!reinject.empty()) {
+    fs_tasks_reinjected_.fetch_add(reinject.size(),
+                                   std::memory_order_release);
+    sched_->push_batch(std::move(reinject), /*worker=*/-1);
+    wake_all();
+  }
+
+  // 4) Per-epoch termination reconciliation: any completion latched before
+  // this death is stale (this rank may have just adopted work, and rank 0
+  // now requires reports covering the new dead set). Re-enter the
+  // completion protocol at the new epoch.
+  local_complete_.store(false, std::memory_order_release);
+  if (rank() == 0) {
+    bool broadcast = false;
+    {
+      std::lock_guard lock(term_mu_);
+      if (termination_check_locked() && !job_done_broadcast_) {
+        job_done_broadcast_ = true;
+        broadcast = true;
+      }
+    }
+    if (broadcast) {
+      for (int p = 1; p < nranks(); ++p) {
+        if ((mask >> p) & 1ULL) continue;
+        rctx_.send(p, kTagJobDone, {});
+      }
+      done_.store(true, std::memory_order_release);
+      wake_all();
+    }
+  }
+  maybe_local_complete();
 }
 
 void Context::worker_loop(int wid) {
@@ -512,12 +952,13 @@ double Context::watchdog_deadline_ms() const {
   const uint64_t completed =
       executed_.load(std::memory_order_relaxed) +
       st_credits_received_.load(std::memory_order_relaxed);
-  const uint64_t outstanding = expected_ > completed ? expected_ - completed
-                                                     : 0;
+  const uint64_t expected = expected_.load(std::memory_order_relaxed);
+  const uint64_t outstanding = expected > completed ? expected - completed
+                                                    : 0;
   double scale =
       1.0 + opts_.watchdog_scale_per_task *
                 static_cast<double>(std::min<uint64_t>(outstanding, 32));
-  if (stealing_active() &&
+  if (global_termination() &&
       local_complete_.load(std::memory_order_relaxed)) {
     // Locally complete, waiting for the global JOB_DONE: that can trail
     // the slowest rank's tail arbitrarily; be patient before declaring a
@@ -546,7 +987,11 @@ std::string Context::watchdog_dump() {
   // with stealing, a stall with migrated-out tasks uncredited points at a
   // lost STEAL_REPLY/CREDIT, not at the classic lost activation.
   const char* likely = "likely a lost activation";
-  if (stealing_active()) {
+  if (failure_active() &&
+      fs_deaths_confirmed_.load(std::memory_order_relaxed) > 0) {
+    likely = "recovering from a confirmed rank death — adopted or replayed "
+             "chain(s) still outstanding";
+  } else if (stealing_active()) {
     if (ss.credits_received < ss.tasks_migrated_out) {
       likely = "chain(s) migrated out await credits — STEAL_REPLY or "
                "CREDIT lost in the fabric";
@@ -559,7 +1004,7 @@ std::string Context::watchdog_dump() {
   os << "PTG watchdog: rank " << rank() << " made no progress for "
      << watchdog_deadline_ms() << " ms with tasks outstanding (" << likely
      << ")."
-     << " executed=" << executed_.load() << "/" << expected_
+     << " executed=" << executed_.load() << "/" << expected_.load()
      << " pending_deposit_keys=" << pending_keys
      << " pending_deposits_arrived=" << pending_arrived
      << " ready_queue=" << sched_->size()
@@ -577,6 +1022,17 @@ std::string Context::watchdog_dump() {
       if (!ledger.empty()) os << " ledger={" << ledger << "}";
     }
   }
+  if (failure_active()) {
+    size_t held = 0;
+    {
+      std::lock_guard lock(adopt_mu_);
+      held = held_ready_.size();
+    }
+    os << " dead_mask=0x" << std::hex
+       << confirmed_dead_mask_.load(std::memory_order_relaxed) << std::dec
+       << " held_ready=" << held << " failure={" << failure_stats().describe()
+       << "}";
+  }
   return os.str();
 }
 
@@ -584,7 +1040,21 @@ void Context::comm_loop() {
   vc::Mailbox& mb = rctx_.mailbox();
   uint64_t watchdog_progress = progress_.load(std::memory_order_relaxed);
   auto watchdog_mark = std::chrono::steady_clock::now();
+  if (failure_active()) {
+    const auto start = std::chrono::steady_clock::now();
+    for (auto& t : last_heard_) t = start;
+    next_heartbeat_ = start + ms_to_us(opts_.heartbeat_interval_ms);
+  }
   while (true) {
+    // Fail-stop self check: if this rank was crash-injected, go silent
+    // immediately — no drain, no abort broadcast, no logging. From the
+    // survivors' point of view this rank simply stopped talking.
+    if (rctx_.is_dead()) {
+      killed_.store(true, std::memory_order_release);
+      done_.store(true, std::memory_order_release);
+      wake_all();
+      return;
+    }
     // Drain the outbox: workers enqueue remote activations, the comm thread
     // performs the actual transfers (the paper's dedicated comm core).
     bool sent_any = false;
@@ -616,6 +1086,25 @@ void Context::comm_loop() {
     // watchdog.
     auto msg = sent_any ? mb.try_pop() : mb.pop_wait(100us);
     while (msg) {
+      if (failure_active() && msg->src >= 0 && msg->src < nranks()) {
+        const size_t s = static_cast<size_t>(msg->src);
+        if ((confirmed_dead_mask_.load(std::memory_order_acquire) >> s) &
+            1ULL) {
+          // Fence the dead epoch: anything a confirmed-dead rank sent is
+          // superseded by recovery (its chains are re-executed wholly), and
+          // letting a straggler credit/activation through would double
+          // count against the reconciled termination state.
+          fs_fenced_dropped_.fetch_add(1, std::memory_order_relaxed);
+          msg = mb.try_pop();
+          continue;
+        }
+        // Piggybacked liveness: ANY message is proof of life.
+        last_heard_[s] = std::chrono::steady_clock::now();
+        if (peer_suspect_[s] != 0) {
+          peer_suspect_[s] = 0;
+          fs_suspicions_cleared_.fetch_add(1, std::memory_order_release);
+        }
+      }
       if (msg->tag == kTagActivate) {
         try {
           vc::WireReader r(msg->payload);
@@ -639,8 +1128,13 @@ void Context::comm_loop() {
         }
       } else if (msg->tag == kTagAbort) {
         try {
-          throw StateError("PTG run aborted: task failure on rank " +
-                           std::to_string(msg->src));
+          const std::string reason(msg->payload.begin(), msg->payload.end());
+          throw StateError(
+              reason.empty()
+                  ? "PTG run aborted: task failure on rank " +
+                        std::to_string(msg->src)
+                  : "PTG run aborted by rank " + std::to_string(msg->src) +
+                        ": " + reason);
         } catch (...) {
           record_error();
         }
@@ -662,6 +1156,9 @@ void Context::comm_loop() {
           if (opts_.migration_observer) {
             opts_.migration_observer->credited(key, rank(), msg->src);
           }
+          // The migrated task retired at its holder; release the retained
+          // re-injection copy (failure runs only).
+          outstanding_migs_.erase(key);
           st_credits_received_.fetch_add(1, std::memory_order_release);
           // A migrated task retired somewhere: real forward progress.
           progress_.fetch_add(1, std::memory_order_relaxed);
@@ -671,7 +1168,16 @@ void Context::comm_loop() {
         }
       } else if (msg->tag == kTagLocalDone) {
         if (rank() == 0) {
-          const bool fresh = note_rank_done(msg->src);
+          uint64_t sender_dead_mask = 0;
+          if (!msg->payload.empty()) {
+            try {
+              vc::WireReader r(msg->payload);
+              sender_dead_mask = r.get<uint64_t>();
+            } catch (...) {
+              // Malformed mask: treat as a pre-death (epoch 0) report.
+            }
+          }
+          const bool fresh = note_rank_done(msg->src, sender_dead_mask);
           // Only a FIRST report is progress: the periodic resends of an
           // already-counted rank must not keep resetting the watchdog.
           if (fresh) progress_.fetch_add(1, std::memory_order_relaxed);
@@ -688,6 +1194,11 @@ void Context::comm_loop() {
       } else if (msg->tag == kTagJobDone) {
         done_.store(true, std::memory_order_release);
         wake_all();
+      } else if (msg->tag == kTagHeartbeat) {
+        // Liveness was refreshed above; answer probes / count answers.
+        // Deliberately NOT progress: heartbeat chatter from a stalled job
+        // must not reset the watchdog (same discipline as steal chatter).
+        on_heartbeat(*msg);
       } else {
         MP_LOG_WARN("comm thread: dropping message with unknown tag %d",
                     msg->tag);
@@ -695,16 +1206,21 @@ void Context::comm_loop() {
       msg = mb.try_pop();
     }
 
-    if (stealing_active()) {
+    if (global_termination()) {
       const auto now_tp = std::chrono::steady_clock::now();
-      steal_agent_tick(now_tp);
+      if (stealing_active()) steal_agent_tick(now_tp);
+      if (failure_active()) detector_tick(now_tp);
       // Periodically repeat the local-done report until JOB_DONE arrives:
       // together with rank 0's replay above this makes global termination
-      // survive dropped control messages.
+      // survive dropped control messages. The report always carries the
+      // current dead mask — after a death the resend IS the new epoch's
+      // report.
       if (rank() != 0 && !done_.load(std::memory_order_acquire) &&
           local_complete_.load(std::memory_order_acquire) &&
           now_tp >= next_done_resend_) {
-        rctx_.send(0, kTagLocalDone, {});
+        vc::WireWriter w;
+        w.put<uint64_t>(confirmed_dead_mask_.load(std::memory_order_acquire));
+        rctx_.send(0, kTagLocalDone, w.take());
         next_done_resend_ = now_tp + ms_to_us(opts_.termination_resend_ms);
       }
     }
@@ -752,7 +1268,8 @@ void Context::comm_loop() {
       size_t discarded = 0;
       while (auto late = mb.try_pop()) {
         if (late->tag == kTagStealRequest || late->tag == kTagStealReply ||
-            late->tag == kTagLocalDone || late->tag == kTagJobDone) {
+            late->tag == kTagLocalDone || late->tag == kTagJobDone ||
+            late->tag == kTagHeartbeat) {
           continue;
         }
         ++discarded;
@@ -793,13 +1310,14 @@ void Context::run() {
   }
 
   enumerate_startup();
-  if (stealing_active()) {
+  if (global_termination()) {
     // A rank with no own tasks is *locally* done immediately but must not
-    // exit: it keeps serving the fabric and stealing work from loaded
-    // peers until the coordinator's JOB_DONE — that idle capacity is the
-    // whole point of inter-node stealing on skewed placements.
+    // exit: it keeps serving the fabric (steal agent, failure detector)
+    // until the coordinator's JOB_DONE — that idle capacity is the whole
+    // point of inter-node stealing, and under failure detection every rank
+    // must keep heartbeating until the job ends globally.
     maybe_local_complete();
-  } else if (expected_ == 0) {
+  } else if (expected_.load() == 0) {
     done_.store(true);
   }
 
@@ -815,6 +1333,15 @@ void Context::run() {
 
   comm_stop_.store(true, std::memory_order_release);
   comm.join();
+
+  if (killed_.load(std::memory_order_acquire)) {
+    // This rank was crash-injected: stay silent. No rethrow, no result
+    // flush, and no final barrier — drop out of all future barriers so the
+    // survivors' collectives keep completing without us. The caller must
+    // check killed() and skip any further collectives on this rank.
+    rctx_.barrier_drop();
+    return;
+  }
 
   {
     std::lock_guard lock(error_mu_);

@@ -33,9 +33,11 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "analysis/diagnostics.h"
+#include "ptg/failure.h"
 #include "ptg/scheduler.h"
 #include "ptg/taskpool.h"
 #include "ptg/trace.h"
@@ -55,6 +57,14 @@ class MigrationObserver {
   virtual ~MigrationObserver() = default;
   virtual void migrated(const TaskKey& key, int home, int holder) = 0;
   virtual void credited(const TaskKey& key, int home, int holder) = 0;
+  /// Fires on the home rank when an in-flight migrated task is forcibly
+  /// re-homed because its holder was confirmed dead (rank-failure recovery):
+  /// the ledger must drop the holder entry — no credit will ever arrive.
+  virtual void reassigned(const TaskKey& key, int home, int new_holder) {
+    (void)key;
+    (void)home;
+    (void)new_holder;
+  }
   /// One-line state summary for watchdog dumps ("" when idle).
   virtual std::string describe() const { return {}; }
 };
@@ -100,6 +110,30 @@ struct Options {
   /// Optional ownership-transfer recorder (see MigrationObserver). Not
   /// owned; must outlive run().
   MigrationObserver* migration_observer = nullptr;
+
+  // -- rank-failure tolerance (DESIGN.md §10; no effect on 1-rank jobs) --
+
+  /// Run the heartbeat failure detector on the comm thread and recover
+  /// from confirmed non-root rank deaths per `on_rank_failure`. Liveness is
+  /// piggybacked on every inbound message; explicit HEARTBEATs fill idle
+  /// gaps. Forces the global (rank-0-coordinated) termination protocol even
+  /// without stealing, since per-rank completion is no longer independent.
+  bool enable_failure_detection = false;
+  /// Interval between explicit HEARTBEAT rounds while not done.
+  double heartbeat_interval_ms = 20.0;
+  /// Silence from a peer longer than this makes it *suspect*: a direct
+  /// probe is sent, which the peer's comm thread answers immediately — a
+  /// slow rank clears its suspicion, a dead one cannot.
+  double suspect_after_ms = 150.0;
+  /// A suspect that stays silent this much longer is *confirmed* dead and
+  /// recovery begins. Total detection latency ~ suspect + confirm.
+  double confirm_after_ms = 300.0;
+  /// What to do when a non-root rank is confirmed dead (rank 0's death
+  /// always escalates — it is the termination coordinator).
+  FailurePolicy on_rank_failure = FailurePolicy::kAbort;
+  /// kRetry tolerates up to this many deaths, then escalates. kDegrade
+  /// always tolerates exactly one.
+  int retry_limit = 1;
 };
 
 /// Counters of the inter-node steal protocol, one instance per rank. All
@@ -165,6 +199,10 @@ class Context {
   static constexpr int kTagLocalDone = 106;
   /// Rank 0 -> all: every rank reported local-done; the job is finished.
   static constexpr int kTagJobDone = 107;
+  /// Failure detector liveness traffic: periodic beat, probe ("answer me
+  /// now"), or probe answer — see the flag byte in the payload. Never
+  /// counted as watchdog progress.
+  static constexpr int kTagHeartbeat = 108;
 
   Context(vc::RankCtx& rank_ctx, const Taskpool& pool, Options opts = {});
 
@@ -201,11 +239,21 @@ class Context {
   uint64_t tasks_completed() const {
     return executed_.load() + st_credits_received_.load();
   }
-  uint64_t expected_tasks() const { return expected_; }
+  uint64_t expected_tasks() const { return expected_.load(); }
   uint64_t remote_activations_sent() const { return remote_sent_.load(); }
   uint64_t scheduler_steals() const { return sched_->steals(); }
   SchedStats scheduler_stats() const { return sched_->stats(); }
   StealStats steal_stats() const;
+  /// Failure-detector / recovery counters (see FailureStats; snapshot after
+  /// run() for the equality invariants to hold).
+  FailureStats failure_stats() const;
+  /// True when THIS rank was crash-injected: run() returned because the
+  /// rank died, not because the job finished.
+  bool killed() const { return killed_.load(std::memory_order_acquire); }
+  /// Bitmask of peers this rank has confirmed dead.
+  uint64_t confirmed_dead_mask() const {
+    return confirmed_dead_mask_.load(std::memory_order_acquire);
+  }
 
   /// Post-run trace of this rank (empty unless enable_tracing).
   const Trace& trace() const { return trace_; }
@@ -220,30 +268,75 @@ class Context {
   struct Shard {
     std::mutex mu;
     std::unordered_map<TaskKey, Pending, TaskKeyHash> map;
+    /// Keys whose activation threshold completed here (failure runs only):
+    /// any further deposit for them is a recovery replay racing the
+    /// original delivery, dropped as a duplicate.
+    std::unordered_set<TaskKey, TaskKeyHash> activated;
   };
   static constexpr int kShards = 16;
 
   void enumerate_startup();
-  void record_error();  ///< capture current exception, force shutdown
+  /// Capture current exception, force shutdown. `reason` (when non-empty)
+  /// rides in the abort broadcast so peers raise a StateError naming the
+  /// real cause instead of a generic "task failure on rank N".
+  void record_error(const std::string& reason = {});
   void worker_loop(int wid);
   void comm_loop();
   /// True when inter-node stealing is actually in play for this job.
   bool stealing_active() const {
     return opts_.enable_stealing && nranks() > 1;
   }
+  /// True when the failure detector / recovery machinery is in play.
+  bool failure_active() const {
+    return opts_.enable_failure_detection && nranks() > 1;
+  }
+  /// Either protocol needs rank-0-coordinated global termination.
+  bool global_termination() const {
+    return stealing_active() || failure_active();
+  }
   /// Called whenever one of this rank's own tasks completes (locally or by
   /// credit). Latches local completion exactly once: without stealing it
   /// sets done_; with stealing it reports local-done towards rank 0.
   void maybe_local_complete();
-  /// Rank 0 only: record a rank's local-done report; broadcasts JOB_DONE
-  /// when the last one arrives. Returns false for an already-seen rank.
-  bool note_rank_done(int r);
+  /// Rank 0 only: record a rank's local-done report tagged with the
+  /// sender's confirmed-dead mask; broadcasts JOB_DONE once every live rank
+  /// has reported with a mask covering rank 0's own dead set (per-epoch
+  /// reconciliation — a pre-death report does not count after a death).
+  /// Returns false for an already-seen rank (resends are not progress).
+  bool note_rank_done(int r, uint64_t dead_mask);
+  /// term_mu_ held: is the job globally done under rank 0's current view?
+  bool termination_check_locked();
   /// Comm thread: the steal agent — issue a STEAL_REQUEST when idle.
   void steal_agent_tick(std::chrono::steady_clock::time_point now_tp);
   /// Comm thread: serve a STEAL_REQUEST (harvest + reply).
   void serve_steal_request(const vc::Message& msg);
   /// Comm thread: absorb a STEAL_REPLY (deserialize + enqueue).
   void absorb_steal_reply(const vc::Message& msg);
+  /// Comm thread: heartbeat rounds + the suspicion -> probe -> confirmed
+  /// state machine of the failure detector.
+  void detector_tick(std::chrono::steady_clock::time_point now_tp);
+  /// Comm thread: handle a kTagHeartbeat (refresh handled by caller; this
+  /// answers probes and counts).
+  void on_heartbeat(const vc::Message& msg);
+  /// Send one HEARTBEAT (flag: 0 beat, 1 probe, 2 probe answer) directly —
+  /// never through the outbox, whose drain counts as watchdog progress.
+  void send_heartbeat(int dst, uint8_t flag);
+  /// Comm thread: a peer is confirmed dead. Applies the failure policy:
+  /// escalate (abort / rank 0 / limit exceeded) or adopt + replay +
+  /// re-inject, then re-enter the termination protocol at the new epoch.
+  void handle_confirmed_death(int dead);
+  /// Escalate an unrecoverable failure: structured StateError naming the
+  /// dead rank, the lost chains and the recovery decision, broadcast to
+  /// every peer so nobody hangs waiting for recovery that will not come.
+  void escalate_failure(int dead, uint64_t lost_chains, const char* why);
+  /// Where instances of `key` live under the current confirmed-dead set:
+  /// the home rank while it is alive, else the policy's stand-in (kRetry:
+  /// next live rank; kDegrade: hash over survivors). Pure in (key, policy,
+  /// dead set), so every rank that agrees on the dead set agrees on it.
+  int effective_rank(const TaskKey& key) const;
+  /// Record one remote activation in the per-destination lineage log.
+  void record_lineage(int dst, const TaskKey& consumer, int slot,
+                      const DataBuf& buf);
   /// Effective watchdog deadline in ms, scaled by outstanding local work.
   double watchdog_deadline_ms() const;
   /// Wake one / all workers. The wake mutex is taken while notifying so a
@@ -276,7 +369,9 @@ class Context {
   std::unique_ptr<Scheduler> sched_;
 
   Shard shards_[kShards];
-  uint64_t expected_ = 0;
+  /// Own task instances plus instances adopted from dead ranks. Atomic:
+  /// recovery (comm thread) grows it while workers compare against it.
+  std::atomic<uint64_t> expected_{0};
   std::atomic<uint64_t> executed_{0};
   std::atomic<uint64_t> seq_{0};
   std::atomic<bool> done_{false};
@@ -327,7 +422,71 @@ class Context {
   // may deliver rank 0's own report while the comm thread delivers peers').
   std::mutex term_mu_;
   std::vector<uint8_t> rank_done_seen_;
-  int ranks_done_count_ = 0;
+  /// Per rank: union of the confirmed-dead masks its reports carried. A
+  /// rank only counts as done once this covers rank 0's own dead set.
+  std::vector<uint64_t> rank_done_mask_;
+  bool job_done_broadcast_ = false;
+
+  // -- rank-failure tolerance state --
+  /// Bitmask of peers this rank has confirmed dead (<= 64 ranks, like the
+  /// fabric's fail-stop mask). Written by the comm thread, read by workers
+  /// routing through effective_rank().
+  std::atomic<uint64_t> confirmed_dead_mask_{0};
+  /// This rank was crash-injected; run() exits silently via barrier_drop.
+  std::atomic<bool> killed_{false};
+
+  /// adopt_mu_ guards the adoption handshake between the comm thread
+  /// (handle_confirmed_death) and workers depositing into foreign-homed
+  /// keys: a key is either adopted (execute here, count here) or its
+  /// completed input set is parked in held_ready_ until adoption.
+  std::mutex adopt_mu_;
+  std::unordered_set<TaskKey, TaskKeyHash> adopted_keys_;
+  std::unordered_map<TaskKey, std::vector<DataBuf>, TaskKeyHash> held_ready_;
+
+  /// Per-destination lineage log: every remote activation sent while the
+  /// failure machinery is active (consumer, slot, payload buffer). On a
+  /// confirmed death the entries toward the victim are replayed to its
+  /// stand-in rank. Guarded by lin_mu_ (workers append, comm replays).
+  struct LineageEntry {
+    TaskKey consumer;
+    int8_t slot = 0;
+    DataBuf buf;
+  };
+  std::mutex lin_mu_;
+  std::vector<std::vector<LineageEntry>> lineage_;
+
+  /// Comm-thread-only: tasks migrated out whose completion credit has not
+  /// arrived, with retained input copies so a dead thief's haul can be
+  /// re-injected locally.
+  struct OutstandingMig {
+    int holder = -1;
+    double priority = 0.0;
+    std::vector<DataBuf> inputs;
+  };
+  std::unordered_map<TaskKey, OutstandingMig, TaskKeyHash> outstanding_migs_;
+
+  // Comm-thread-only failure detector state.
+  std::vector<std::chrono::steady_clock::time_point> last_heard_;
+  std::vector<uint8_t> peer_suspect_;
+  std::vector<std::chrono::steady_clock::time_point> suspect_since_;
+  std::chrono::steady_clock::time_point next_heartbeat_;
+
+  // FailureStats counters (comm thread writes; dup-deposit drops also from
+  // workers). deaths_confirmed is incremented before any recovery-work
+  // counter it bounds.
+  std::atomic<uint64_t> fs_heartbeats_sent_{0};
+  std::atomic<uint64_t> fs_heartbeats_received_{0};
+  std::atomic<uint64_t> fs_probes_sent_{0};
+  std::atomic<uint64_t> fs_probes_answered_{0};
+  std::atomic<uint64_t> fs_suspicions_{0};
+  std::atomic<uint64_t> fs_suspicions_cleared_{0};
+  std::atomic<uint64_t> fs_deaths_confirmed_{0};
+  std::atomic<uint64_t> fs_tasks_adopted_{0};
+  std::atomic<uint64_t> fs_lineage_replayed_{0};
+  std::atomic<uint64_t> fs_tasks_reinjected_{0};
+  std::atomic<uint64_t> fs_fenced_dropped_{0};
+  std::atomic<uint64_t> fs_dup_deposits_dropped_{0};
+  std::atomic<uint64_t> fs_watchdog_resets_on_death_{0};
 
   std::chrono::steady_clock::time_point epoch_;
   std::vector<std::vector<TraceEvent>> worker_events_;

@@ -97,6 +97,24 @@ struct TaskClass {
   /// beyond their task inputs (e.g. WRITE_C serializing through a per-rank
   /// mutex onto locally-owned Global Array blocks) must opt out.
   bool migratable = true;
+
+  // -- rank-failure recovery hooks (DESIGN.md §10); both optional --
+
+  /// Recovery co-adoption group of instance p. When a rank dies, every lost
+  /// instance with the same recovery_key is adopted by the same survivor,
+  /// and on_adopt runs once per group before any of them is re-executed.
+  /// Classes that accumulate into shared external state (WRITE_C adding
+  /// into a Global Array block) set this to the target-block id so *all*
+  /// writers of one block recover together; without it each instance is its
+  /// own group.
+  std::function<int64_t(const Params&)> recovery_key;
+
+  /// Called on the adopting rank's comm thread — once per (dead rank,
+  /// recovery group), before any adopted instance of the group is made
+  /// ready — to reset external side effects of the group's partial pre-
+  /// crash execution. WRITE_C uses this to zero its Global Array block so
+  /// full re-execution accumulates exactly once.
+  std::function<void(const Params&, int dead_rank)> on_adopt;
 };
 
 /// A complete PTG: an ordered set of task classes. Class ids are assigned

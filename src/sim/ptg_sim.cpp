@@ -36,7 +36,9 @@ enum class EvType : int8_t {
   kArrive,
   kDeposit,
   kStealReq,   ///< STEAL_REQUEST lands at the victim (task = thief node)
-  kStealReply  ///< reply lands at the thief (task = batch index, -1 empty)
+  kStealReply, ///< reply lands at the thief (task = batch index, -1 empty)
+  kDeath,      ///< fail-stop: node `core` goes silent
+  kRecover     ///< survivors confirmed the death of node `core`
 };
 
 struct Event {
@@ -44,9 +46,10 @@ struct Event {
   uint64_t seq = 0;
   EvType type = EvType::kFinish;
   int32_t task = -1;
-  int32_t core = -1;     // kFinish; kStealReq/kStealReply: dst node
+  int32_t core = -1;     // kFinish; kStealReq/kStealReply/kDeath: dst node
   double bytes = 0.0;    // kArrive
   int32_t from_node = 0; // kArrive (trace only); kStealReply: victim
+  int32_t gen = 0;       // task incarnation (stale-delivery fencing)
 
   bool operator>(const Event& o) const {
     if (time != o.time) return time > o.time;
@@ -103,6 +106,16 @@ SimResult simulate_ptg(const SimGraph& graph, const SimOptions& opts) {
     exec_node[i] = graph.tasks[i].node;
   }
   std::vector<std::vector<int32_t>> steal_batches;
+
+  // Failure-recovery state. home_node is where activations are delivered
+  // (static placement until recovery re-homes a dead node's tasks); gen
+  // counts a task's incarnation so deliveries and finishes addressed to a
+  // pre-death incarnation are fenced, exactly like the runtime dropping
+  // messages from (or results for) a dead epoch.
+  std::vector<int32_t> home_node(exec_node);
+  std::vector<int32_t> task_gen(graph.tasks.size(), 0);
+  std::vector<uint8_t> completed(graph.tasks.size(), 0);
+  std::vector<uint8_t> node_dead(static_cast<size_t>(P), 0);
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
   uint64_t seq = 0;
@@ -163,7 +176,8 @@ SimResult simulate_ptg(const SimGraph& graph, const SimOptions& opts) {
           }
         }
       }
-      events.push(Event{end, seq++, EvType::kFinish, re.task, core, 0.0, 0});
+      events.push(Event{end, seq++, EvType::kFinish, re.task, core, 0.0, 0,
+                        task_gen[static_cast<size_t>(re.task)]});
 
       res.core_busy_time += end - now;
       res.busy_by_kind[static_cast<size_t>(t.kind)] += end - now;
@@ -185,7 +199,8 @@ SimResult simulate_ptg(const SimGraph& graph, const SimOptions& opts) {
     if (!opts.enable_stealing || P < 2) return;
     for (int thief = 0; thief < P; ++thief) {
       NodeState& tn = nodes[static_cast<size_t>(thief)];
-      if (tn.steal_inflight || !tn.ready.empty() ||
+      if (node_dead[static_cast<size_t>(thief)] || tn.steal_inflight ||
+          !tn.ready.empty() ||
           tn.idle_cores.size() != static_cast<size_t>(cores) ||
           tnow < tn.next_steal_at) {
         continue;
@@ -193,7 +208,7 @@ SimResult simulate_ptg(const SimGraph& graph, const SimOptions& opts) {
       int victim = -1;
       size_t best = 1;  // a victim needs >= 2 ready tasks to share
       for (int v = 0; v < P; ++v) {
-        if (v == thief) continue;
+        if (v == thief || node_dead[static_cast<size_t>(v)]) continue;
         if (nodes[static_cast<size_t>(v)].ready.size() > best) {
           best = nodes[static_cast<size_t>(v)].ready.size();
           victim = v;
@@ -211,9 +226,10 @@ SimResult simulate_ptg(const SimGraph& graph, const SimOptions& opts) {
 
   auto make_ready = [&](int32_t task_id, double now) {
     const SimTask& t = graph.tasks[static_cast<size_t>(task_id)];
-    nodes[static_cast<size_t>(t.node)].ready.push(
+    const int32_t hn = home_node[static_cast<size_t>(task_id)];
+    nodes[static_cast<size_t>(hn)].ready.push(
         ReadyEntry{t.priority, seq++, task_id});
-    dispatch(t.node, now);
+    dispatch(hn, now);
   };
 
   // Seed startup tasks (readers, DFILLs, dependency-free GEMMs).
@@ -228,6 +244,15 @@ SimResult simulate_ptg(const SimGraph& graph, const SimOptions& opts) {
   for (int n = 0; n < P; ++n) dispatch(n, 0.0);
   try_steals(0.0);
 
+  if (opts.fail_node >= 0) {
+    MP_REQUIRE(opts.fail_node < P, "simulate_ptg: fail_node out of range");
+    MP_REQUIRE(P >= 2, "simulate_ptg: death injection needs >= 2 nodes");
+    events.push(Event{opts.fail_time_s, seq++, EvType::kDeath, -1,
+                      opts.fail_node, 0.0, 0});
+    events.push(Event{opts.fail_time_s + opts.detect_delay_s, seq++,
+                      EvType::kRecover, -1, opts.fail_node, 0.0, 0});
+  }
+
   double now = 0.0;
   while (!events.empty()) {
     const Event ev = events.top();
@@ -236,17 +261,28 @@ SimResult simulate_ptg(const SimGraph& graph, const SimOptions& opts) {
 
     switch (ev.type) {
       case EvType::kFinish: {
+        // Stale incarnation (the task was re-homed by recovery after this
+        // run started) or a core that died mid-task: the result is lost.
+        if (ev.gen != task_gen[static_cast<size_t>(ev.task)]) break;
         const SimTask& t = graph.tasks[static_cast<size_t>(ev.task)];
         const int32_t xnode = exec_node[static_cast<size_t>(ev.task)];
+        if (node_dead[static_cast<size_t>(xnode)]) break;
         NodeState& node = nodes[static_cast<size_t>(xnode)];
         node.idle_cores.push_back(ev.core);
+        completed[static_cast<size_t>(ev.task)] = 1;
         for (const int32_t s : t.succs) {
-          const SimTask& st = graph.tasks[static_cast<size_t>(s)];
-          if (st.node == xnode) {
-            if (--deps[static_cast<size_t>(s)] == 0) make_ready(s, now);
+          if (completed[static_cast<size_t>(s)]) continue;
+          const int32_t hn = home_node[static_cast<size_t>(s)];
+          if (hn == xnode) {
+            if (deps[static_cast<size_t>(s)] > 0 &&
+                --deps[static_cast<size_t>(s)] == 0) {
+              make_ready(s, now);
+            }
           } else {
             // Cross-node activation: comm thread hands the buffer to the
             // NIC; FCFS injection, wire latency, then ejection at the peer.
+            // A dead destination blackholes the message, but the sender
+            // pays the send cost anyway (it does not know yet).
             const double t_comm =
                 node.comm.serve(now, cm.comm_msg_overhead_s);
             const double t_out =
@@ -257,7 +293,7 @@ SimResult simulate_ptg(const SimGraph& graph, const SimOptions& opts) {
             events.push(Event{t_out + cm.net_latency_s +
                                   cm.protocol_latency(t.out_bytes),
                               seq++, EvType::kArrive, s, -1, t.out_bytes,
-                              xnode});
+                              xnode, task_gen[static_cast<size_t>(s)]});
           }
         }
         dispatch(xnode, now);
@@ -265,22 +301,32 @@ SimResult simulate_ptg(const SimGraph& graph, const SimOptions& opts) {
         break;
       }
       case EvType::kArrive: {
+        if (ev.gen != task_gen[static_cast<size_t>(ev.task)]) break;
         const SimTask& st = graph.tasks[static_cast<size_t>(ev.task)];
-        NodeState& node = nodes[static_cast<size_t>(st.node)];
+        const int32_t hn = home_node[static_cast<size_t>(ev.task)];
+        if (node_dead[static_cast<size_t>(hn)]) break;  // blackholed
+        NodeState& node = nodes[static_cast<size_t>(hn)];
         const double t_in = node.nic_in.serve(now, cm.wire_time(ev.bytes));
         const double t_dep = node.comm.serve(t_in, cm.comm_msg_overhead_s);
         res.comm_busy_time += cm.wire_time(ev.bytes);
         if (opts.record_trace) {
-          res.trace.add(ptg::TraceEvent{st.node, -1, -1,
+          res.trace.add(ptg::TraceEvent{hn, -1, -1,
                                         ptg::params_of(st.l1, st.l2), now,
                                         t_dep, true});
         }
-        events.push(
-            Event{t_dep, seq++, EvType::kDeposit, ev.task, -1, 0.0, 0});
+        events.push(Event{t_dep, seq++, EvType::kDeposit, ev.task, -1, 0.0,
+                          0, ev.gen});
         break;
       }
       case EvType::kDeposit: {
-        if (--deps[static_cast<size_t>(ev.task)] == 0) {
+        if (ev.gen != task_gen[static_cast<size_t>(ev.task)]) break;
+        if (completed[static_cast<size_t>(ev.task)]) break;
+        if (node_dead[static_cast<size_t>(
+                home_node[static_cast<size_t>(ev.task)])]) {
+          break;  // deposited on the dead node, lost with it
+        }
+        if (deps[static_cast<size_t>(ev.task)] > 0 &&
+            --deps[static_cast<size_t>(ev.task)] == 0) {
           make_ready(ev.task, now);
         }
         break;
@@ -291,6 +337,13 @@ SimResult simulate_ptg(const SimGraph& graph, const SimOptions& opts) {
         // its input payloads. An empty-handed reply still goes back so
         // the thief can re-arm.
         const int thief = ev.task;
+        if (node_dead[static_cast<size_t>(ev.core)]) {
+          // Dead victim never answers; model the thief's re-arm as an
+          // empty reply after the usual round trip.
+          events.push(Event{now + cm.net_latency_s, seq++,
+                            EvType::kStealReply, -1, thief, 0.0, ev.core});
+          break;
+        }
         NodeState& victim = nodes[static_cast<size_t>(ev.core)];
         const double t_seen = victim.comm.serve(now, cm.comm_msg_overhead_s);
         std::vector<ReadyEntry> all;
@@ -307,6 +360,10 @@ SimResult simulate_ptg(const SimGraph& graph, const SimOptions& opts) {
           if (batch.size() < want && t.kind != SimTaskKind::kWrite &&
               !t.needs_mutex) {
             batch.push_back(it->task);
+            // Claimed by the thief the moment it leaves the victim's queue:
+            // if the thief dies while the batch is on the wire, recovery
+            // finds these tasks by exec_node and re-homes them.
+            exec_node[static_cast<size_t>(it->task)] = thief;
             bytes += t.bytes;
           } else {
             victim.ready.push(*it);
@@ -330,6 +387,7 @@ SimResult simulate_ptg(const SimGraph& graph, const SimOptions& opts) {
       }
       case EvType::kStealReply: {
         const int thief = ev.core;
+        if (node_dead[static_cast<size_t>(thief)]) break;
         NodeState& tn = nodes[static_cast<size_t>(thief)];
         tn.steal_inflight = false;
         if (ev.task < 0) {
@@ -346,6 +404,85 @@ SimResult simulate_ptg(const SimGraph& graph, const SimOptions& opts) {
           res.tasks_migrated += 1;
         }
         dispatch(thief, t_dep);
+        break;
+      }
+      case EvType::kDeath: {
+        // Fail-stop: cores vanish mid-task (their kFinish events are
+        // fenced), the ready queue is lost, nothing is sent again.
+        NodeState& dn = nodes[static_cast<size_t>(ev.core)];
+        node_dead[static_cast<size_t>(ev.core)] = 1;
+        dn.idle_cores.clear();
+        while (!dn.ready.empty()) dn.ready.pop();
+        break;
+      }
+      case EvType::kRecover: {
+        // Survivors confirmed the death: adopt every task the dead node
+        // was responsible for executing (its whole partition re-executes,
+        // the runtime's kRetry model), bump incarnations so stale events
+        // are fenced, and replay inputs whose producers already completed
+        // elsewhere (lineage replay pays full wire cost).
+        const int F = ev.core;
+        res.recovery_started_at = now;
+        std::vector<int> surv;
+        for (int n = 0; n < P; ++n) {
+          if (!node_dead[static_cast<size_t>(n)]) surv.push_back(n);
+        }
+        MP_REQUIRE(!surv.empty(), "simulate_ptg: every node died");
+        std::vector<int32_t> lost;
+        for (size_t i = 0; i < graph.tasks.size(); ++i) {
+          if (exec_node[i] != F) continue;
+          completed[i] = 0;
+          task_gen[i] += 1;
+          lost.push_back(static_cast<int32_t>(i));
+        }
+        size_t rr = 0;
+        for (const int32_t i : lost) {
+          const int nn = surv[rr++ % surv.size()];
+          home_node[static_cast<size_t>(i)] = nn;
+          exec_node[static_cast<size_t>(i)] = nn;
+          deps[static_cast<size_t>(i)] =
+              graph.tasks[static_cast<size_t>(i)].ndeps;
+          res.tasks_recovered += 1;
+        }
+        // Lineage replay: every completed producer of a lost task re-ships
+        // its output to the adopter (the adopter has none of the dead
+        // node's state). Producers that are themselves lost re-execute and
+        // send normally.
+        std::vector<uint8_t> is_lost(graph.tasks.size(), 0);
+        for (const int32_t i : lost) is_lost[static_cast<size_t>(i)] = 1;
+        for (size_t u = 0; u < graph.tasks.size(); ++u) {
+          if (!completed[u]) continue;
+          const SimTask& t = graph.tasks[u];
+          for (const int32_t s : t.succs) {
+            if (!is_lost[static_cast<size_t>(s)]) continue;
+            const int32_t src = exec_node[u];
+            const int32_t dst = home_node[static_cast<size_t>(s)];
+            res.lineage_replays += 1;
+            if (src == dst) {
+              events.push(Event{now + cm.comm_msg_overhead_s, seq++,
+                                EvType::kDeposit, s, -1, 0.0, 0,
+                                task_gen[static_cast<size_t>(s)]});
+              continue;
+            }
+            NodeState& sn = nodes[static_cast<size_t>(src)];
+            const double t_comm = sn.comm.serve(now, cm.comm_msg_overhead_s);
+            const double t_out =
+                sn.nic_out.serve(t_comm, cm.wire_time(t.out_bytes));
+            res.comm_busy_time += cm.wire_time(t.out_bytes);
+            res.transfers += 1;
+            res.bytes_transferred += t.out_bytes;
+            events.push(Event{t_out + cm.net_latency_s +
+                                  cm.protocol_latency(t.out_bytes),
+                              seq++, EvType::kArrive, s, -1, t.out_bytes,
+                              src, task_gen[static_cast<size_t>(s)]});
+          }
+        }
+        // Dependency-free lost tasks (seeds, or chains whose inputs all
+        // re-execute locally) restart immediately on their adopters.
+        for (const int32_t i : lost) {
+          if (deps[static_cast<size_t>(i)] == 0) make_ready(i, now);
+        }
+        try_steals(now);
         break;
       }
     }

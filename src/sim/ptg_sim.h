@@ -34,6 +34,16 @@ struct SimOptions {
   int steal_max_batch = 16;
   /// Re-arm delay after an empty-handed steal attempt.
   double steal_backoff_s = 200e-6;
+  /// Fail-stop death injection (DESIGN.md §10): node `fail_node` goes
+  /// silent at `fail_time_s` — running tasks are lost, queued work is
+  /// dropped, in-flight messages it already sent still arrive. Survivors
+  /// confirm the death `detect_delay_s` later (the heartbeat suspicion +
+  /// confirmation window) and adopt every unfinished task of the dead node
+  /// round-robin, re-shipping inputs whose producers already completed
+  /// (lineage replay). -1 disables. Mirrors the runtime's kRetry policy.
+  int fail_node = -1;
+  double fail_time_s = 0.0;
+  double detect_delay_s = 500e-6;
 };
 
 struct SimResult {
@@ -50,6 +60,9 @@ struct SimResult {
   uint64_t steal_hits = 0;               ///< replies carrying >= 1 task
   uint64_t tasks_migrated = 0;           ///< tasks executed off their home
   double steal_bytes = 0.0;              ///< input payload shipped by steals
+  uint64_t tasks_recovered = 0;          ///< tasks adopted off a dead node
+  uint64_t lineage_replays = 0;          ///< completed-producer re-shipments
+  double recovery_started_at = 0.0;      ///< when survivors confirmed death
   std::array<double, 7> busy_by_kind{};  ///< indexed by SimTaskKind
   ptg::Trace trace;                      ///< populated if record_trace
 };

@@ -19,6 +19,7 @@ const char* finding_code(FindingKind k) {
     case FindingKind::kStealViolation: return "MPA005";
     case FindingKind::kTlsViolation: return "MPA006";
     case FindingKind::kMigratedAccess: return "MPA007";
+    case FindingKind::kUseAfterRecovery: return "MPA008";
   }
   return "MPA???";
 }
@@ -66,11 +67,14 @@ struct LifecycleChecker::Impl {
   struct ObjState {
     bool live = false;
     bool migrated = false;  ///< contents handed to the fabric, still live
+    bool rehomed = false;   ///< recovery took it back after the holder died
     const char* kind = "?";
     Epoch last_write;
+    Epoch rehome;  ///< epoch of the recovery re-home (for MPA008 ordering)
     std::vector<Epoch> reads;
     std::string destroy_task;  ///< who released it (for MPA002 reports)
     std::string migrate_task;  ///< who handed it off (for MPA007 reports)
+    std::string rehome_task;   ///< who re-homed it (for MPA008 reports)
   };
 
   std::mutex mu;
@@ -257,6 +261,30 @@ void LifecycleChecker::obj_migrate(const void* obj, const char* kind) {
   o.migrate_task = impl_->me().task;
 }
 
+void LifecycleChecker::obj_rehome(const void* obj, const char* kind) {
+  std::lock_guard lock(impl_->mu);
+  auto it = impl_->objects.find(obj);
+  if (it == impl_->objects.end()) return;  // untracked allocation
+  auto& o = it->second;
+  if (!o.live) {
+    std::ostringstream os;
+    os << "recovery re-home of released " << kind << " " << obj;
+    if (!o.destroy_task.empty()) {
+      os << " (released in task " << o.destroy_task << ")";
+    }
+    impl_->add_finding(FindingKind::kUseAfterRecovery, os.str());
+    return;
+  }
+  // Recovery reclaims the buffer from a dead holder: the MPA007 hand-off bit
+  // comes back off, and from here on every access must be ordered after this
+  // epoch — an unordered access is a handout that survived from before the
+  // death and may still be read by stale machinery (MPA008).
+  o.migrated = false;
+  o.rehomed = true;
+  o.rehome = impl_->epoch_here();
+  o.rehome_task = impl_->me().task;
+}
+
 void LifecycleChecker::obj_read(const void* obj, const char* kind) {
   std::lock_guard lock(impl_->mu);
   auto it = impl_->objects.find(obj);
@@ -278,6 +306,17 @@ void LifecycleChecker::obj_read(const void* obj, const char* kind) {
                : " in task " + it->second.migrate_task)
        << ", not yet released)";
     impl_->add_finding(FindingKind::kMigratedAccess, os.str());
+    return;
+  }
+  if (it->second.rehomed && !impl_->ordered(it->second.rehome) &&
+      !locks_intersect(it->second.rehome.locks, impl_->me().lockset)) {
+    std::ostringstream os;
+    os << "use after recovery: read of re-homed " << kind << " " << obj
+       << " unordered with its recovery re-home"
+       << (it->second.rehome_task.empty()
+               ? ""
+               : " (re-homed in task " + it->second.rehome_task + ")");
+    impl_->add_finding(FindingKind::kUseAfterRecovery, os.str());
     return;
   }
   impl_->check_conflict(it->second, /*is_write=*/false, obj);
@@ -302,6 +341,17 @@ void LifecycleChecker::obj_write(const void* obj, const char* kind) {
                : " in task " + it->second.migrate_task)
        << ", not yet released)";
     impl_->add_finding(FindingKind::kMigratedAccess, os.str());
+    return;
+  }
+  if (it->second.rehomed && !impl_->ordered(it->second.rehome) &&
+      !locks_intersect(it->second.rehome.locks, impl_->me().lockset)) {
+    std::ostringstream os;
+    os << "use after recovery: write to re-homed " << kind << " " << obj
+       << " unordered with its recovery re-home"
+       << (it->second.rehome_task.empty()
+               ? ""
+               : " (re-homed in task " + it->second.rehome_task + ")");
+    impl_->add_finding(FindingKind::kUseAfterRecovery, os.str());
     return;
   }
   impl_->check_conflict(it->second, /*is_write=*/true, obj);

@@ -49,6 +49,7 @@ enum class FindingKind {
   kStealViolation,    ///< MPA005: deque owner end used by a foreign thread
   kTlsViolation,      ///< MPA006: thread-local object used by a foreign thread
   kMigratedAccess,    ///< MPA007: buffer used after hand-off to the fabric
+  kUseAfterRecovery,  ///< MPA008: access unordered with a recovery re-home
 };
 
 const char* finding_code(FindingKind k);  ///< "MPA001" ...
@@ -79,6 +80,12 @@ class LifecycleChecker {
   /// after this point — the remote side owns the data now — is reported as
   /// MPA007, as is migrating the same live object twice.
   void obj_migrate(const void* obj, const char* kind);
+  /// Rank-failure recovery took the object back: a previously migrated (or
+  /// merely outstanding) buffer was re-homed to this rank because its remote
+  /// holder died. Clears the migrated bit and records a re-home epoch; any
+  /// later access that is not happens-after the re-home (a live handout from
+  /// the dead epoch) and shares no lock with it is reported as MPA008.
+  void obj_rehome(const void* obj, const char* kind);
 
   // -- happens-before channels (send on hand-off, recv on take-over) --
   void channel_send(const void* channel);
@@ -137,6 +144,7 @@ class LifecycleChecker {
 #define MP_ANNOTATE_BUF_READ(p) MP_ANNOTATE(obj_read((p), "DataBuf"))
 #define MP_ANNOTATE_BUF_WRITE(p) MP_ANNOTATE(obj_write((p), "DataBuf"))
 #define MP_ANNOTATE_BUF_MIGRATE(p) MP_ANNOTATE(obj_migrate((p), "DataBuf"))
+#define MP_ANNOTATE_BUF_REHOME(p) MP_ANNOTATE(obj_rehome((p), "DataBuf"))
 #define MP_ANNOTATE_CHANNEL_SEND(ch) MP_ANNOTATE(channel_send((ch)))
 #define MP_ANNOTATE_CHANNEL_RECV(ch) MP_ANNOTATE(channel_recv((ch)))
 #define MP_ANNOTATE_LOCK_ACQUIRED(mu) MP_ANNOTATE(lock_acquired((mu)))

@@ -295,6 +295,27 @@ PtgBuild build_ptg(const ChainPlan& plan, const StoreList& stores,
       }
       MP_ANNOTATE_LOCK_RELEASED(write_mutex.get());
     };
+    // Rank-failure recovery (DESIGN.md §10): WRITE_C accumulates into the
+    // GA, so a dead rank may have already added some chains' contributions
+    // to a block before crashing. All writers of one target block recover
+    // as one co-adoption group (keyed by block offset, salted with the
+    // store id so fused plans with several R tensors never collide), and
+    // on_adopt zeroes the block once before the group is re-executed —
+    // full re-execution then accumulates exactly once. Survivors can zero
+    // a block the dead rank owned because the virtual-cluster GA is
+    // process-shared memory; a real GA would use GA_Put the same way.
+    c.recovery_key = [pl](const Params& p) {
+      const Chain& ch = pl->chains[static_cast<size_t>(p[0])];
+      return (static_cast<int64_t>(ch.r_store) << 48) ^ ch.c_offset;
+    };
+    c.on_adopt = [pl, st](const Params& p, int /*dead_rank*/) {
+      const Chain& ch = pl->chains[static_cast<size_t>(p[0])];
+      const TensorStore& ts = (*st)[static_cast<size_t>(ch.r_store)];
+      const auto entry = ts.shape->index().find(ch.c_key);
+      if (!entry) return;
+      std::vector<double> zeros(static_cast<size_t>(entry->size), 0.0);
+      ga::put_hash_block(*ts.ga, ts.shape->index(), ch.c_key, zeros.data());
+    };
     b.ids.write = pool.add_class(std::move(c));
   }
   const int16_t write_id = b.ids.write;

@@ -22,11 +22,23 @@ PtgExecResult execute_ptg(vc::RankCtx& rctx, const ChainPlan& plan,
   ropts.enable_stealing = opts.enable_stealing;
   ropts.steal_max_batch = opts.steal_max_batch;
   ropts.migration_observer = opts.ledger;
+  ropts.enable_failure_detection = opts.enable_failure_detection;
+  ropts.on_rank_failure = opts.on_rank_failure;
+  ropts.retry_limit = opts.retry_limit;
+  ropts.heartbeat_interval_ms = opts.heartbeat_interval_ms;
+  ropts.suspect_after_ms = opts.suspect_after_ms;
+  ropts.confirm_after_ms = opts.confirm_after_ms;
 
   ptg::Context ctx(rctx, build.pool, ropts);
   ctx.run();
 
   PtgExecResult res;
+  if (ctx.killed()) {
+    // Crash-injected rank: run() already dropped out of the cluster barrier.
+    // Report nothing and issue no further collectives from here.
+    res.killed = true;
+    return res;
+  }
   res.trace = ctx.trace();
   res.tasks_executed = ctx.tasks_executed();
   res.tasks_completed = ctx.tasks_completed();
@@ -34,6 +46,7 @@ PtgExecResult execute_ptg(vc::RankCtx& rctx, const ChainPlan& plan,
   res.remote_activations = ctx.remote_activations_sent();
   res.sched = ctx.scheduler_stats();
   res.steal = ctx.steal_stats();
+  res.failure = ctx.failure_stats();
   for (size_t i = 0; i < build.pool.num_classes(); ++i) {
     res.class_names.push_back(build.pool.cls(static_cast<int16_t>(i)).name);
   }

@@ -47,6 +47,15 @@ struct PtgExecOptions {
   /// Optional process-wide ownership-transfer ledger, shared by every
   /// rank's executor so holder_of() answers coherently across the job.
   ga::MigrationLedger* ledger = nullptr;
+  /// Rank-failure tolerance (DESIGN.md §10): heartbeat failure detection on
+  /// the comm thread plus policy-driven recovery of a dead rank's work.
+  /// Off by default — fault-free jobs pay nothing.
+  bool enable_failure_detection = false;
+  ptg::FailurePolicy on_rank_failure = ptg::FailurePolicy::kAbort;
+  int retry_limit = 1;
+  double heartbeat_interval_ms = 20.0;
+  double suspect_after_ms = 150.0;
+  double confirm_after_ms = 300.0;
 };
 
 struct PtgExecResult {
@@ -58,6 +67,12 @@ struct PtgExecResult {
   uint64_t remote_activations = 0;
   ptg::SchedStats sched;                ///< steal/contention counters
   ptg::StealStats steal;                ///< inter-node migration counters
+  ptg::FailureStats failure;            ///< detector / recovery counters
+  /// This rank was crash-injected mid-run: the runtime exited silently and
+  /// every post-run collective was skipped, so every field above is
+  /// meaningless here. Callers must check this before touching the result
+  /// (and before issuing any further collectives on this rank).
+  bool killed = false;
 };
 
 /// Execute the plan over the PTG runtime. Collective across ranks. Works

@@ -23,6 +23,10 @@ Mailbox& RankCtx::mailbox() { return cluster_->mailbox(rank_); }
 
 void RankCtx::barrier() { cluster_->barrier_wait(); }
 
+void RankCtx::barrier_drop() { cluster_->barrier_arrive_and_drop(); }
+
+bool RankCtx::is_dead() const { return cluster_->is_dead(rank_); }
+
 double RankCtx::allreduce_sum(double x) {
   return cluster_->allreduce(x, rank_, /*max_mode=*/false);
 }
@@ -36,10 +40,15 @@ Cluster::Cluster(int nranks, FabricConfig fabric_cfg)
       mailboxes_(static_cast<size_t>(nranks)),
       barrier_(nranks),
       counters_(kNumCounters),
+      dead_(static_cast<size_t>(nranks)),
       reduce_slots_(static_cast<size_t>(nranks), 0.0) {
   MP_REQUIRE(nranks >= 1, "Cluster: nranks must be >= 1");
   for (auto& c : counters_) c.store(0);
   fabric_ = std::make_unique<Fabric>(&mailboxes_, fabric_cfg);
+  // Crash plans fire inside Fabric::send with no fabric lock held; route
+  // them through kill_rank so the mailbox closes and the cluster-wide dead
+  // flag is visible to every rank's runtime.
+  fabric_->set_kill_callback([this](int r) { kill_rank(r); });
 }
 
 Cluster::~Cluster() {
@@ -76,6 +85,35 @@ void Cluster::run(const std::function<void(RankCtx&)>& fn) {
   }
 }
 
+void Cluster::kill_rank(int rank) {
+  MP_REQUIRE(rank >= 0 && rank < nranks_, "Cluster::kill_rank: bad rank");
+  // Idempotent latch; also breaks the mutual recursion with the fabric's
+  // kill callback (fabric kill -> callback -> here -> fabric kill ...).
+  if (dead_[static_cast<size_t>(rank)].exchange(1, std::memory_order_acq_rel) !=
+      0) {
+    return;
+  }
+  fabric_->kill_rank(rank);
+  // Close only the victim's mailbox: pending messages stay drainable, and a
+  // blocked pop on the victim's comm thread wakes up to find itself dead.
+  // Survivors' mailboxes are untouched (unlike the rank-exception path in
+  // run(), which tears the whole job down).
+  mailboxes_[static_cast<size_t>(rank)].close();
+}
+
+void Cluster::revive_rank(int rank) {
+  MP_REQUIRE(rank >= 0 && rank < nranks_, "Cluster::revive_rank: bad rank");
+  if (dead_[static_cast<size_t>(rank)].exchange(0, std::memory_order_acq_rel) ==
+      0) {
+    return;
+  }
+  fabric_->revive_rank(rank);
+  mailboxes_[static_cast<size_t>(rank)].reopen();
+  // New incarnation: every receiver must forget the old incarnation's wire
+  // sequence window or the revived rank's messages are eaten as duplicates.
+  for (auto& mb : mailboxes_) mb.reset_source(rank);
+}
+
 long Cluster::fetch_add_counter(int which, long delta) {
   MP_REQUIRE(which >= 0 && which < kNumCounters, "bad counter index");
   return counters_[static_cast<size_t>(which)].fetch_add(delta);
@@ -87,6 +125,8 @@ void Cluster::reset_counter(int which, long value) {
 }
 
 void Cluster::barrier_wait() { barrier_.arrive_and_wait(); }
+
+void Cluster::barrier_arrive_and_drop() { barrier_.arrive_and_drop(); }
 
 double Cluster::allreduce(double x, int rank, bool max_mode) {
   reduce_slots_[static_cast<size_t>(rank)] = x;

@@ -37,11 +37,21 @@ class RankCtx {
   /// Collective: all ranks must call.
   void barrier();
 
+  /// Drop out of all future barriers. A killed rank calls this instead of
+  /// its final barrier() so the survivors' collectives keep completing.
+  void barrier_drop();
+
   /// Collective sum-reduce; every rank receives the global sum.
   double allreduce_sum(double x);
 
   /// Collective max-reduce.
   double allreduce_max(double x);
+
+  /// True once this rank has been crash-injected (fail-stop). The runtime
+  /// polls this on its comm thread and, when set, stops executing — the
+  /// thread itself keeps running (it is a thread of the test process), it
+  /// just goes silent, which is what a crashed rank looks like on the wire.
+  bool is_dead() const;
 
   Cluster& cluster() { return *cluster_; }
 
@@ -72,8 +82,24 @@ class Cluster {
   void reset_counter(int which, long value);
   static constexpr int kNumCounters = 8;
 
+  // --- rank failure (fail-stop model, DESIGN.md §10) ---
+
+  /// Kill `rank`: mark it dead cluster-wide, blackhole its fabric traffic,
+  /// and close its mailbox (pending messages stay drainable). Idempotent.
+  /// Also runs as the fabric's kill callback when a CrashPlan fires.
+  void kill_rank(int rank);
+  /// Bring a killed rank back as a new incarnation: clears the dead flag,
+  /// reopens its mailbox, and resets every survivor's dedup window for it
+  /// (see Mailbox::reset_source).
+  void revive_rank(int rank);
+  bool is_dead(int rank) const {
+    return dead_[static_cast<size_t>(rank)].load(std::memory_order_acquire) !=
+           0;
+  }
+
   // --- internal, used by RankCtx collectives ---
   void barrier_wait();
+  void barrier_arrive_and_drop();
   double allreduce(double x, int rank, bool max_mode);
 
  private:
@@ -82,6 +108,10 @@ class Cluster {
   std::unique_ptr<Fabric> fabric_;
   std::barrier<> barrier_;
   std::vector<std::atomic<long>> counters_;
+  /// Cluster-wide liveness flags, one per rank (uint8_t: vector<atomic<bool>>
+  /// is fine but this keeps the element trivially copyable for resize-free
+  /// construction).
+  std::vector<std::atomic<uint8_t>> dead_;
 
   // allreduce scratch: contributions land in slots, rank 0 combines.
   std::vector<double> reduce_slots_;

@@ -27,6 +27,13 @@ Fabric::Fabric(std::vector<Mailbox>* mailboxes, FabricConfig cfg)
   MP_REQUIRE(mailboxes_ != nullptr && !mailboxes_->empty(),
              "Fabric: need at least one mailbox");
   wire_seq_ = std::vector<std::atomic<uint64_t>>(mailboxes_->size());
+  crash_fired_ = std::vector<std::atomic<uint8_t>>(cfg_.crash_plans.size());
+  for (const CrashPlan& cp : cfg_.crash_plans) {
+    MP_REQUIRE(cp.victim >= 0 &&
+                   static_cast<size_t>(cp.victim) < mailboxes_->size() &&
+                   cp.victim < 64,
+               "Fabric: CrashPlan victim out of range");
+  }
   if (delayed_) {
     delivery_thread_ = std::thread([this] { delivery_loop(); });
   }
@@ -70,6 +77,25 @@ void Fabric::send(Message m) {
     m.seq = 1 + wire_seq_[static_cast<size_t>(m.src)].fetch_add(
                     1, std::memory_order_relaxed);
   }
+
+  // Fail-stop blackhole: traffic to or from a dead rank disappears into the
+  // wire. The message still counts as accepted (the sender cannot tell),
+  // and the fault counter is the release-ordered bounded half of the pair.
+  if (is_dead(m.src) || is_dead(m.dst)) {
+    count_sent(m);
+    faults_crashed_.fetch_add(1, std::memory_order_release);
+    maybe_trigger_crash();
+    return;
+  }
+  // One-sided partition: src->dst swallowed, dst->src untouched.
+  if (has_partitions_.load(std::memory_order_acquire) != 0 &&
+      partitioned(m.src, m.dst)) {
+    count_sent(m);
+    faults_partitioned_.fetch_add(1, std::memory_order_release);
+    maybe_trigger_crash();
+    return;
+  }
+
   const FaultConfig& fc = fault_for(m.src, m.dst);
 
   if (!delayed_) {
@@ -87,6 +113,7 @@ void Fabric::send(Message m) {
       // faults_* <= messages_sent holds in every snapshot.
       if (drop) {
         faults_dropped_.fetch_add(1, std::memory_order_release);
+        maybe_trigger_crash();
         return;
       }
       if (dup) {
@@ -97,6 +124,7 @@ void Fabric::send(Message m) {
       count_sent(m);
     }
     deliver(std::move(m));
+    maybe_trigger_crash();
     return;
   }
 
@@ -139,6 +167,68 @@ void Fabric::send(Message m) {
     }
   }
   cv_.notify_one();
+  maybe_trigger_crash();
+}
+
+void Fabric::maybe_trigger_crash() {
+  if (cfg_.crash_plans.empty()) return;
+  const uint64_t accepted = messages_sent_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < cfg_.crash_plans.size(); ++i) {
+    const CrashPlan& cp = cfg_.crash_plans[i];
+    if (accepted < cp.after_messages) continue;
+    if (crash_fired_[i].exchange(1, std::memory_order_acq_rel) != 0) continue;
+    kill_rank(cp.victim);
+  }
+}
+
+void Fabric::kill_rank(int rank) {
+  MP_REQUIRE(rank >= 0 && static_cast<size_t>(rank) < mailboxes_->size() &&
+                 rank < 64,
+             "Fabric::kill_rank: bad rank");
+  const uint64_t bit = 1ULL << rank;
+  // Counter-pair ordering: ranks_killed goes up BEFORE the dead bit is
+  // published, so a blackholed message (which requires observing the bit)
+  // can never be counted while a snapshot still reads ranks_killed == 0.
+  // The loser of a concurrent double-kill backs its increment out.
+  ranks_killed_.fetch_add(1, std::memory_order_release);
+  if ((dead_mask_.fetch_or(bit, std::memory_order_acq_rel) & bit) != 0) {
+    ranks_killed_.fetch_sub(1, std::memory_order_relaxed);
+    return;  // already dead
+  }
+  // Outside all fabric locks: the callback may close mailboxes (which takes
+  // the mailbox lock) or update cluster-wide liveness state.
+  if (kill_cb_) kill_cb_(rank);
+}
+
+void Fabric::revive_rank(int rank) {
+  MP_REQUIRE(rank >= 0 && static_cast<size_t>(rank) < mailboxes_->size() &&
+                 rank < 64,
+             "Fabric::revive_rank: bad rank");
+  // A revived rank is a new incarnation: its wire sequence restarts at 1.
+  // Receivers that kept SeqWindow state for the old incarnation would
+  // silently discard everything the new one sends — that is the bug
+  // Mailbox::reset_source() exists to fix (see test_vc).
+  wire_seq_[static_cast<size_t>(rank)].store(0, std::memory_order_relaxed);
+  dead_mask_.fetch_and(~(1ULL << rank), std::memory_order_acq_rel);
+}
+
+void Fabric::partition(int src, int dst) {
+  std::lock_guard lock(part_mu_);
+  partitioned_links_.insert({src, dst});
+  has_partitions_.store(1, std::memory_order_release);
+}
+
+void Fabric::heal(int src, int dst) {
+  std::lock_guard lock(part_mu_);
+  partitioned_links_.erase({src, dst});
+  if (partitioned_links_.empty()) {
+    has_partitions_.store(0, std::memory_order_release);
+  }
+}
+
+bool Fabric::partitioned(int src, int dst) const {
+  std::lock_guard lock(part_mu_);
+  return partitioned_links_.count({src, dst}) != 0;
 }
 
 void Fabric::delivery_loop() {
@@ -194,6 +284,9 @@ FabricStats Fabric::stats() const {
   s.faults_dropped = faults_dropped_.load(std::memory_order_acquire);
   s.faults_duplicated = faults_duplicated_.load(std::memory_order_acquire);
   s.faults_reordered = faults_reordered_.load(std::memory_order_acquire);
+  s.faults_crashed = faults_crashed_.load(std::memory_order_acquire);
+  s.faults_partitioned = faults_partitioned_.load(std::memory_order_acquire);
+  s.ranks_killed = ranks_killed_.load(std::memory_order_acquire);
   s.bytes_sent = bytes_sent_.load(std::memory_order_acquire);
   s.bytes_dropped = bytes_dropped_.load(std::memory_order_acquire);
   s.messages_sent = messages_sent_.load(std::memory_order_acquire);

@@ -8,14 +8,28 @@
 // inject faults: seeded, per-link message drops, duplications and reordering
 // jitter. Every fault is counted, so a test can reconcile what entered the
 // fabric against what came out the other side.
+//
+// Beyond per-message faults the fabric models two whole-endpoint failures
+// for the rank-failure-tolerance work (DESIGN.md §10):
+//   - crashes: a rank can be killed — by API (kill_rank) or by a seeded
+//     CrashPlan that fires when the fabric has accepted a chosen number of
+//     messages, which makes "rank dies mid-run" exactly reproducible. A
+//     dead endpoint blackholes all traffic to and from it (fail-stop);
+//     messages already on the wire still deliver.
+//   - one-sided partitions: partition(src, dst) silently swallows every
+//     src->dst message while the reverse direction keeps flowing, the
+//     classic asymmetric-connectivity case a failure detector must not
+//     misread as a crash.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
@@ -44,6 +58,15 @@ struct FaultConfig {
   }
 };
 
+/// A seeded rank-kill: when the fabric has accepted `after_messages`
+/// messages in total, `victim` crashes (fail-stop). Deterministic for a
+/// deterministic message schedule, and monotone regardless: the kill always
+/// fires at the same point of the fabric's accept stream.
+struct CrashPlan {
+  int victim = -1;
+  uint64_t after_messages = 0;
+};
+
 struct FabricConfig {
   /// One-way latency added to every message, microseconds.
   double latency_us = 0.0;
@@ -56,6 +79,8 @@ struct FabricConfig {
   std::map<std::pair<int, int>, FaultConfig> link_faults;
   /// Seed for the fault RNG; identical seeds reproduce identical faults.
   uint64_t fault_seed = 0x5eedfab51cULL;
+  /// Scheduled rank crashes (see CrashPlan). Each fires at most once.
+  std::vector<CrashPlan> crash_plans;
 };
 
 /// Snapshot of the fabric's counters. `messages_sent` counts messages the
@@ -71,6 +96,12 @@ struct FabricStats {
   uint64_t faults_dropped = 0;
   uint64_t faults_duplicated = 0;
   uint64_t faults_reordered = 0;
+  /// Messages blackholed because their source or destination rank is dead.
+  uint64_t faults_crashed = 0;
+  /// Messages swallowed by a one-sided partition.
+  uint64_t faults_partitioned = 0;
+  /// Ranks killed so far (API calls + fired crash plans).
+  uint64_t ranks_killed = 0;
 
   /// Internal-consistency self check. The increment/snapshot ordering in
   /// Fabric (release on the second counter of each pair, paired acquire
@@ -100,6 +131,19 @@ struct FabricStats {
     if (bytes_dropped > 0 && messages_dropped == 0) {
       return "FabricStats: bytes_dropped (" + std::to_string(bytes_dropped) +
              ") > 0 with messages_dropped == 0";
+    }
+    if (faults_crashed > messages_sent) {
+      return "FabricStats: faults_crashed (" + std::to_string(faults_crashed) +
+             ") > messages_sent (" + std::to_string(messages_sent) + ")";
+    }
+    if (faults_partitioned > messages_sent) {
+      return "FabricStats: faults_partitioned (" +
+             std::to_string(faults_partitioned) + ") > messages_sent (" +
+             std::to_string(messages_sent) + ")";
+    }
+    if (faults_crashed > 0 && ranks_killed == 0) {
+      return "FabricStats: faults_crashed (" + std::to_string(faults_crashed) +
+             ") > 0 with ranks_killed == 0";
     }
     return {};
   }
@@ -131,6 +175,35 @@ class Fabric {
   /// Full counter snapshot, including the fault-injection block.
   FabricStats stats() const;
 
+  // -- endpoint failures (crashes and partitions) --
+
+  /// Kill `rank` (fail-stop): every subsequent message to or from it is
+  /// blackholed and counted as faults_crashed. Messages already on the wire
+  /// (in the delayed-delivery queue) still deliver — they were sent before
+  /// the crash. Idempotent. Also invoked internally when a CrashPlan fires.
+  void kill_rank(int rank);
+  /// Undo kill_rank for tests that model a rank coming back. Restarts the
+  /// rank's wire sequence at 0 — the revived rank is a *new incarnation*,
+  /// which is exactly why receivers must Mailbox::reset_source() it.
+  void revive_rank(int rank);
+  bool is_dead(int rank) const {
+    return rank >= 0 && rank < 64 &&
+           (dead_mask_.load(std::memory_order_acquire) & (1ULL << rank)) != 0;
+  }
+
+  /// One-sided partition: silently swallow every src->dst message (counted
+  /// as faults_partitioned) until heal(). The reverse link is unaffected.
+  void partition(int src, int dst);
+  void heal(int src, int dst);
+  bool partitioned(int src, int dst) const;
+
+  /// Callback invoked (once per victim, outside all fabric locks) when a
+  /// CrashPlan fires or kill_rank is called; the Cluster uses it to close
+  /// the victim's mailbox and mark the rank dead cluster-wide.
+  void set_kill_callback(std::function<void(int)> cb) {
+    kill_cb_ = std::move(cb);
+  }
+
   /// Stop the delivery thread promptly (does not wait for simulated
   /// delivery deadlines) and flush still-pending messages to their
   /// destination mailboxes so nothing already accepted is lost.
@@ -152,6 +225,10 @@ class Fabric {
   /// Push to the destination mailbox, counting a refused push as dropped.
   void deliver(Message m);
   void count_sent(const Message& m);
+  /// Fire any CrashPlan whose accept-count threshold has been reached.
+  /// Called at the end of send() with no fabric lock held, so the kill
+  /// callback is free to close mailboxes / take cluster locks.
+  void maybe_trigger_crash();
 
   std::vector<Mailbox>* mailboxes_;
   FabricConfig cfg_;
@@ -164,6 +241,22 @@ class Fabric {
   std::atomic<uint64_t> faults_dropped_{0};
   std::atomic<uint64_t> faults_duplicated_{0};
   std::atomic<uint64_t> faults_reordered_{0};
+  std::atomic<uint64_t> faults_crashed_{0};
+  std::atomic<uint64_t> faults_partitioned_{0};
+  std::atomic<uint64_t> ranks_killed_{0};
+
+  /// Bitmask of dead ranks (fail-stop model supports up to 64 ranks; the
+  /// real clusters in the tests and the paper are far smaller). Lock-free
+  /// so the send() fast path stays cheap.
+  std::atomic<uint64_t> dead_mask_{0};
+  /// 0 until any partition exists; keeps the common no-partition send()
+  /// path from taking part_mu_.
+  std::atomic<int> has_partitions_{0};
+  mutable std::mutex part_mu_;
+  std::set<std::pair<int, int>> partitioned_links_;
+  /// One "fired" latch per configured CrashPlan.
+  std::vector<std::atomic<uint8_t>> crash_fired_;
+  std::function<void(int)> kill_cb_;
 
   std::mutex mu_;
   std::condition_variable cv_;

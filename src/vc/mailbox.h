@@ -69,6 +69,23 @@ class Mailbox {
     cv_.notify_all();
   }
 
+  /// Accept pushes again after a close(). Used by Cluster::revive_rank in
+  /// failure-tolerance tests; a production mailbox stays closed forever.
+  void reopen() {
+    std::lock_guard lock(mu_);
+    closed_ = false;
+  }
+
+  /// Drop the exactly-once window kept for `src`. Required when a source
+  /// rank is declared dead and a new incarnation re-appears with a fresh
+  /// wire sequence (seq restarting at 1): without the reset every message
+  /// of the new incarnation would be filtered as a duplicate of the old
+  /// one's, silently blackholing a healthy peer.
+  void reset_source(int src) {
+    std::lock_guard lock(mu_);
+    windows_.erase(src);
+  }
+
   bool closed() const {
     std::lock_guard lock(mu_);
     return closed_;

@@ -234,6 +234,87 @@ TEST_F(CheckerTest, MigratedBufStillReleasesExactlyOnce) {
   EXPECT_EQ(C().finding_count(), 0u) << C().report();
 }
 
+TEST_F(CheckerTest, UnorderedAccessAfterRehomeIsMPA008) {
+  // Rank-failure recovery re-homes a buffer from a dead holder; any access
+  // not ordered after the re-home may be stale pre-death machinery still
+  // holding the old handout.
+  int obj = 0;
+  in_thread([&] {
+    fresh_epoch();
+    C().obj_create(&obj, "DataBuf");
+    C().obj_write(&obj, "DataBuf");
+    C().obj_rehome(&obj, "DataBuf");
+  });
+  fresh_epoch();
+  C().obj_read(&obj, "DataBuf");  // no channel edge from the recovery
+  EXPECT_EQ(count_kind(FindingKind::kUseAfterRecovery), 1u);
+  EXPECT_NE(C().report().find("MPA008"), std::string::npos);
+}
+
+TEST_F(CheckerTest, ChannelOrderedRehomeAccessIsClean) {
+  // The runtime's actual shape: the comm thread adopts + re-homes, then
+  // hands the task to a worker through the scheduler (a channel edge), so
+  // the worker's accesses happen-after the re-home.
+  int obj = 0;
+  int channel = 0;
+  in_two_threads(
+      [&] {
+        fresh_epoch();
+        C().obj_create(&obj, "DataBuf");
+        C().obj_rehome(&obj, "DataBuf");
+        C().channel_send(&channel);  // scheduler push
+      },
+      [&] {
+        C().channel_recv(&channel);  // worker pop
+        C().obj_read(&obj, "DataBuf");
+        C().obj_write(&obj, "DataBuf");
+      });
+  EXPECT_EQ(C().finding_count(), 0u) << C().report();
+}
+
+TEST_F(CheckerTest, CommonLockSuppressesRehomeReport) {
+  // Hybrid-detector branch: epochs unordered, but both sides hold the same
+  // lock across the re-home and the access.
+  int obj = 0;
+  int mu = 0;
+  in_two_threads(
+      [&] {
+        fresh_epoch();
+        C().lock_acquired(&mu);
+        C().obj_create(&obj, "DataBuf");
+        C().obj_rehome(&obj, "DataBuf");
+        // No release: only the common lockset suppresses the report.
+      },
+      [&] {
+        fresh_epoch();
+        C().lock_acquired(&mu);
+        C().obj_write(&obj, "DataBuf");
+        C().lock_released(&mu);
+      });
+  EXPECT_EQ(count_kind(FindingKind::kUseAfterRecovery), 0u) << C().report();
+}
+
+TEST_F(CheckerTest, RehomeOfReleasedBufIsMPA008) {
+  int obj = 0;
+  C().obj_create(&obj, "DataBuf");
+  C().obj_destroy(&obj, "DataBuf");
+  C().obj_rehome(&obj, "DataBuf");
+  EXPECT_EQ(count_kind(FindingKind::kUseAfterRecovery), 1u);
+  EXPECT_NE(C().report().find("MPA008"), std::string::npos);
+}
+
+TEST_F(CheckerTest, RehomeClearsMigratedStateForTheNewOwner) {
+  // A buffer migrated to a thief that then died: the home rank re-owns the
+  // data, so its own (ordered) accesses are clean — no MPA007, no MPA008.
+  int obj = 0;
+  C().obj_create(&obj, "DataBuf");
+  C().obj_migrate(&obj, "DataBuf");
+  C().obj_rehome(&obj, "DataBuf");
+  C().obj_read(&obj, "DataBuf");
+  C().obj_write(&obj, "DataBuf");
+  EXPECT_EQ(C().finding_count(), 0u) << C().report();
+}
+
 TEST_F(CheckerTest, FindingsCarrySymbolicTaskNames) {
   int obj = 0;
   const int32_t params[2] = {3, 1};

@@ -498,5 +498,197 @@ TEST(Cluster, RejectsZeroRanks) {
   EXPECT_THROW(Cluster c(0), InvalidArgument);
 }
 
+// --- endpoint failures: crashes, partitions, incarnations ---
+
+TEST(Mailbox, ResetSourceDropsTheDedupWindow) {
+  Mailbox box;
+  for (uint64_t s = 1; s <= 3; ++s) {
+    Message m;
+    m.src = 1;
+    m.seq = s;
+    EXPECT_TRUE(box.push(std::move(m)));
+  }
+  EXPECT_EQ(box.size(), 3u);
+
+  // The old incarnation's seqs are now duplicates...
+  Message dup;
+  dup.src = 1;
+  dup.seq = 2;
+  EXPECT_TRUE(box.push(std::move(dup)));
+  EXPECT_EQ(box.size(), 3u);
+  EXPECT_EQ(box.duplicates_filtered(), 1u);
+
+  // ...until the source is declared a new incarnation. A fresh wire
+  // sequence restarting at 1 must flow, and other sources' windows are
+  // untouched.
+  box.reset_source(1);
+  Message fresh;
+  fresh.src = 1;
+  fresh.seq = 1;
+  EXPECT_TRUE(box.push(std::move(fresh)));
+  EXPECT_EQ(box.size(), 4u);
+  EXPECT_EQ(box.duplicates_filtered(), 1u);
+}
+
+TEST(Fabric, KilledRankBlackholesBothDirections) {
+  std::vector<Mailbox> boxes(2);
+  Fabric f(&boxes, {});
+  f.kill_rank(1);
+  EXPECT_TRUE(f.is_dead(1));
+
+  Message to_dead;
+  to_dead.src = 0;
+  to_dead.dst = 1;
+  f.send(std::move(to_dead));
+  Message from_dead;
+  from_dead.src = 1;
+  from_dead.dst = 0;
+  f.send(std::move(from_dead));
+
+  EXPECT_FALSE(boxes[0].try_pop().has_value());
+  EXPECT_FALSE(boxes[1].try_pop().has_value());
+  const FabricStats s = f.stats();
+  EXPECT_EQ(s.faults_crashed, 2u);
+  EXPECT_EQ(s.ranks_killed, 1u);
+  EXPECT_EQ(s.validate(), "");
+}
+
+TEST(Fabric, KillRankIsIdempotent) {
+  std::vector<Mailbox> boxes(2);
+  Fabric f(&boxes, {});
+  f.kill_rank(1);
+  f.kill_rank(1);
+  EXPECT_EQ(f.stats().ranks_killed, 1u);
+}
+
+TEST(Fabric, CrashPlanFiresAtTheExactAcceptCount) {
+  std::vector<Mailbox> boxes(2);
+  FabricConfig cfg;
+  cfg.crash_plans.push_back({/*victim=*/1, /*after_messages=*/3});
+  Fabric f(&boxes, cfg);
+  int killed = -1, calls = 0;
+  f.set_kill_callback([&](int r) {
+    killed = r;
+    ++calls;
+  });
+
+  for (int i = 0; i < 2; ++i) {
+    Message m;
+    m.src = 0;
+    m.dst = 1;
+    f.send(std::move(m));
+  }
+  EXPECT_FALSE(f.is_dead(1)) << "two accepted messages must not trigger";
+
+  Message third;
+  third.src = 0;
+  third.dst = 1;
+  f.send(std::move(third));
+  EXPECT_TRUE(f.is_dead(1));
+  EXPECT_EQ(killed, 1);
+  EXPECT_EQ(calls, 1);
+
+  // Post-crash traffic to the victim is blackholed; the first three
+  // messages were delivered before it fired.
+  Message late;
+  late.src = 0;
+  late.dst = 1;
+  f.send(std::move(late));
+  EXPECT_EQ(boxes[1].size(), 3u);
+  EXPECT_EQ(f.stats().faults_crashed, 1u);
+  EXPECT_EQ(f.stats().validate(), "");
+}
+
+TEST(Fabric, OneSidedPartitionSwallowsOnlyThatDirection) {
+  std::vector<Mailbox> boxes(2);
+  Fabric f(&boxes, {});
+  f.partition(0, 1);
+  EXPECT_TRUE(f.partitioned(0, 1));
+  EXPECT_FALSE(f.partitioned(1, 0));
+
+  Message fwd;
+  fwd.src = 0;
+  fwd.dst = 1;
+  fwd.tag = 7;
+  f.send(std::move(fwd));
+  Message rev;
+  rev.src = 1;
+  rev.dst = 0;
+  rev.tag = 8;
+  f.send(std::move(rev));
+
+  EXPECT_FALSE(boxes[1].try_pop().has_value());
+  auto got = boxes[0].try_pop();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->tag, 8);
+  EXPECT_EQ(f.stats().faults_partitioned, 1u);
+  EXPECT_EQ(f.stats().validate(), "");
+
+  f.heal(0, 1);
+  Message healed;
+  healed.src = 0;
+  healed.dst = 1;
+  healed.tag = 9;
+  f.send(std::move(healed));
+  auto got2 = boxes[1].try_pop();
+  ASSERT_TRUE(got2.has_value());
+  EXPECT_EQ(got2->tag, 9);
+}
+
+TEST(Fabric, RevivedRankIsANewIncarnationNeedingResetSource) {
+  // The revived rank's wire sequence restarts, so without reset_source the
+  // receiver's dedup window silently blackholes the new incarnation — the
+  // exact trap the Mailbox API exists for.
+  std::vector<Mailbox> boxes(2);
+  Fabric f(&boxes, {});
+  for (int i = 0; i < 3; ++i) {
+    Message m;
+    m.src = 1;
+    m.dst = 0;
+    f.send(std::move(m));
+  }
+  EXPECT_EQ(boxes[0].size(), 3u);
+
+  f.kill_rank(1);
+  f.revive_rank(1);
+
+  Message stale;
+  stale.src = 1;
+  stale.dst = 0;
+  f.send(std::move(stale));  // stamped seq 1 again
+  EXPECT_EQ(boxes[0].size(), 3u) << "filtered as a duplicate of the corpse";
+  EXPECT_EQ(boxes[0].duplicates_filtered(), 1u);
+
+  boxes[0].reset_source(1);
+  Message fresh;
+  fresh.src = 1;
+  fresh.dst = 0;
+  f.send(std::move(fresh));
+  EXPECT_EQ(boxes[0].size(), 4u);
+}
+
+TEST(Cluster, KillRankClosesMailboxAndReviveRestoresDelivery) {
+  Cluster c(3);
+  c.kill_rank(1);
+  EXPECT_TRUE(c.is_dead(1));
+  EXPECT_TRUE(c.mailbox(1).closed());
+  c.kill_rank(1);  // idempotent
+  EXPECT_EQ(c.fabric().stats().ranks_killed, 1u);
+
+  // revive_rank resets every survivor's dedup window for the new
+  // incarnation, so rank 1 can speak again end to end.
+  c.revive_rank(1);
+  EXPECT_FALSE(c.is_dead(1));
+  EXPECT_FALSE(c.mailbox(1).closed());
+  Message m;
+  m.src = 1;
+  m.dst = 0;
+  m.tag = 42;
+  c.fabric().send(std::move(m));
+  auto got = c.mailbox(0).try_pop();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->tag, 42);
+}
+
 }  // namespace
 }  // namespace mp::vc
