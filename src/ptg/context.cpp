@@ -619,15 +619,32 @@ int Context::effective_rank(const TaskKey& key) const {
       return home;
     }
     case FailurePolicy::kDegrade: {
-      // Rebuild over the surviving communicator: hash the key over the
-      // ordered survivor list. Deterministic in (key, dead set) only.
+      // Rebuild over the surviving communicator: hash over the ordered
+      // survivor list. Deterministic in (key, dead set) only. Classes with
+      // a recovery_key hash the *group* id, not the individual key — the
+      // co-adoption invariant (taskpool.h): every lost instance of one
+      // group must land on the same adopter, or each adopter runs the
+      // group's on_adopt reset independently and a late reset wipes
+      // another adopter's already re-executed contributions.
       int survivors[64];
       int ns = 0;
       for (int r = 0; r < nranks(); ++r) {
         if (((dead >> r) & 1ULL) == 0) survivors[ns++] = r;
       }
       if (ns == 0) return home;
-      return survivors[TaskKeyHash{}(key) % static_cast<size_t>(ns)];
+      const TaskClass& c = pool_.cls(key.cls);
+      size_t h;
+      if (c.recovery_key) {
+        uint64_t g = 1469598103934665603ULL;
+        g ^= static_cast<uint64_t>(static_cast<uint16_t>(key.cls));
+        g *= 1099511628211ULL;
+        g ^= static_cast<uint64_t>(c.recovery_key(key.p));
+        g *= 1099511628211ULL;
+        h = static_cast<size_t>(g);
+      } else {
+        h = TaskKeyHash{}(key);
+      }
+      return survivors[h % static_cast<size_t>(ns)];
     }
     case FailurePolicy::kAbort:
       break;  // escalating anyway; keep routes stable
@@ -777,14 +794,28 @@ void Context::handle_confirmed_death(int dead) {
   }
 
   // -- recovery --
-  // 1) Adoption: deterministically partition the victim's instances over
-  // the survivors; this rank takes the ones effective_rank maps here.
+  // 1) Adoption: deterministically partition the lost instances over the
+  // survivors; this rank takes the ones effective_rank maps here. The
+  // sweep covers every rank in the *cumulative* dead mask, not just the
+  // rank confirmed now: under kRetry a second death must also re-home
+  // keys whose stand-in (an earlier victim's adopter) just died, or their
+  // replays park in held_ready_ forever while every live rank reports
+  // done — a silently incomplete "successful" run. Keys this rank already
+  // adopted are filtered out up front (before on_adopt runs) so neither
+  // expected_ nor a group's external-state reset can double-fire.
   std::vector<std::pair<const TaskClass*, Params>> mine;
-  for (size_t ci = 0; ci < pool_.num_classes(); ++ci) {
-    const TaskClass& c = pool_.cls(static_cast<int16_t>(ci));
-    for (const Params& p : c.enumerate_rank(dead)) {
-      if (effective_rank(TaskKey{c.cls, p}) == rank()) {
-        mine.emplace_back(&c, p);
+  {
+    std::lock_guard lock(adopt_mu_);
+    for (size_t ci = 0; ci < pool_.num_classes(); ++ci) {
+      const TaskClass& c = pool_.cls(static_cast<int16_t>(ci));
+      for (int dr = 0; dr < nranks(); ++dr) {
+        if (((mask >> dr) & 1ULL) == 0) continue;
+        for (const Params& p : c.enumerate_rank(dr)) {
+          const TaskKey key{c.cls, p};
+          if (effective_rank(key) != rank()) continue;
+          if (adopted_keys_.count(key) != 0) continue;
+          mine.emplace_back(&c, p);
+        }
       }
     }
   }
@@ -799,6 +830,16 @@ void Context::handle_confirmed_death(int dead) {
     }
     c->on_adopt(p, dead);
   }
+  if (!mine.empty()) {
+    // Grow expected_ BEFORE publishing adoption below: the instant a key
+    // appears in adopted_keys_, a worker depositing its final input falls
+    // through the park-until-adopted check and executes it, and that
+    // execution must never be compared against the pre-adoption target
+    // (a rank one own-task short of done would transiently see
+    // sum == expected_ and latch completion at the new epoch).
+    expected_.fetch_add(mine.size(), std::memory_order_release);
+    fs_tasks_adopted_.fetch_add(mine.size(), std::memory_order_release);
+  }
   std::vector<std::pair<TaskKey, std::vector<DataBuf>>> drained;
   {
     std::lock_guard lock(adopt_mu_);
@@ -811,12 +852,6 @@ void Context::handle_confirmed_death(int dead) {
         held_ready_.erase(it);
       }
     }
-  }
-  if (!mine.empty()) {
-    // Grow expected_ before anything adopted can execute: the completion
-    // comparison must never transiently see the old target.
-    expected_.fetch_add(mine.size(), std::memory_order_release);
-    fs_tasks_adopted_.fetch_add(mine.size(), std::memory_order_release);
   }
   for (const auto& [c, p] : mine) {
     if (c->num_task_inputs(p) == 0) {

@@ -118,6 +118,14 @@ struct Options {
   /// piggybacked on every inbound message; explicit HEARTBEATs fill idle
   /// gaps. Forces the global (rank-0-coordinated) termination protocol even
   /// without stealing, since per-rank completion is no longer independent.
+  ///
+  /// Memory cost: recovery replays whole chains, so while this flag is on
+  /// each rank retains a lineage handle for every remote activation it
+  /// sends (per destination) and every locally-activated TaskKey, for the
+  /// whole run — O(total activations) even when no rank ever dies. Nothing
+  /// can be pruned before job end, because any destination may still die.
+  /// Leave this off (the default, which pays nothing) unless the job
+  /// actually needs to survive rank deaths.
   bool enable_failure_detection = false;
   /// Interval between explicit HEARTBEAT rounds while not done.
   double heartbeat_interval_ms = 20.0;

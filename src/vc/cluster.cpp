@@ -132,8 +132,13 @@ double Cluster::allreduce(double x, int rank, bool max_mode) {
   reduce_slots_[static_cast<size_t>(rank)] = x;
   barrier_wait();  // all contributions visible after this
   if (rank == 0) {
+    // A killed rank's slot still holds its contribution from the last
+    // pre-crash reduction (it left the barrier via arrive_and_drop and
+    // never writes again); folding that stale value in would silently
+    // corrupt every survivor-side allreduce issued after a kill.
     double acc = reduce_slots_[0];
     for (int r = 1; r < nranks_; ++r) {
+      if (is_dead(r)) continue;
       const double v = reduce_slots_[static_cast<size_t>(r)];
       acc = max_mode ? std::max(acc, v) : acc + v;
     }

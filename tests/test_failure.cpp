@@ -14,8 +14,11 @@
 // test_failure_stress.cpp.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <functional>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -80,10 +83,15 @@ void fast_detector(Options& opts) {
 /// Two-layer job where every rank owns real work: FEED(i) (no inputs) is
 /// homed round-robin, HEAVY(i) (one input, `spin_us` of compute) is homed
 /// by a fixed affine map so a victim rank owns both roots and dependents.
-/// Values land in `got` regardless of where each body ran.
+/// Values land in `got` regardless of where each body ran. When
+/// `heavy_group` is given, HEAVY instances carry it as recovery_key and
+/// `group_adopted` observes every on_adopt invocation (the hooks the
+/// co-adoption tests below count).
 void run_spread(vc::RankCtx& rctx, int width, int spin_us, Options opts,
                 std::vector<double>* got, std::mutex* mu,
-                std::vector<FaultReport>* reports) {
+                std::vector<FaultReport>* reports,
+                const std::function<int64_t(int)>& heavy_group = nullptr,
+                const std::function<void(int64_t)>& group_adopted = nullptr) {
   const int nranks = rctx.nranks();
   const int my_rank = rctx.rank();
 
@@ -125,6 +133,15 @@ void run_spread(vc::RankCtx& rctx, int width, int spin_us, Options opts,
     }
     t.set_output(0, make_buf(1, v));
   };
+  if (heavy_group) {
+    heavy.recovery_key = [heavy_group](const Params& p) {
+      return heavy_group(p[0]);
+    };
+    heavy.on_adopt = [heavy_group, group_adopted](const Params& p,
+                                                  int /*dead_rank*/) {
+      if (group_adopted) group_adopted(heavy_group(p[0]));
+    };
+  }
   const auto heavy_id = pool.add_class(std::move(heavy));
   pool.mutable_cls(feed_id).route_outputs =
       [heavy_id](const Params& p, std::vector<OutRoute>& r) {
@@ -219,6 +236,120 @@ TEST(FailureRecovery, RetryCompletesAfterSeededCrash) {
 
 TEST(FailureRecovery, DegradeCompletesAfterSeededCrash) {
   run_policy_recovery(FailurePolicy::kDegrade);
+}
+
+// --- degrade keeps every co-adoption group on exactly one adopter ---
+
+/// Recovery group of HEAVY(i). Members share i % 4, so they share a home
+/// (heavy_home depends on i mod nranks only at nranks=4) — mirroring the
+/// real constraint that all accumulators into one GA block are homed on
+/// the block's owner. Groups of four instances each.
+int64_t co_group(int i) { return i % 4 + 4 * (i / 16); }
+
+TEST(FailureRecovery, DegradeAdoptsEachRecoveryGroupExactlyOnce) {
+  // The co-adoption invariant (taskpool.h): all lost instances sharing a
+  // recovery_key must land on ONE survivor, so the group's on_adopt reset
+  // runs exactly once cluster-wide. Hashing individual keys over the
+  // survivor list scatters a group across adopters, and each of them runs
+  // on_adopt at its own confirmation time — a late zero of the shared GA
+  // block wipes contributions another adopter already re-executed. Count
+  // on_adopt invocations per group across all ranks; every group with a
+  // member homed on the victim must see exactly one.
+  const int nranks = 4, width = 96, victim = 2;
+  vc::FabricConfig cfg;
+  cfg.crash_plans.push_back({victim, /*after_messages=*/60});
+  vc::Cluster cluster(nranks, cfg);
+  std::vector<double> got(static_cast<size_t>(width), 0.0);
+  std::vector<FaultReport> reports(static_cast<size_t>(nranks));
+  std::mutex mu;
+  std::map<int64_t, int> adopt_counts;
+
+  cluster.run([&](vc::RankCtx& rctx) {
+    Options opts;
+    opts.num_workers = 2;
+    fast_detector(opts);
+    opts.on_rank_failure = FailurePolicy::kDegrade;
+    run_spread(rctx, width, /*spin_us=*/500, opts, &got, &mu, &reports,
+               /*heavy_group=*/co_group,
+               /*group_adopted=*/[&](int64_t g) {
+                 std::lock_guard lock(mu);
+                 ++adopt_counts[g];
+               });
+  });
+
+  expect_values_correct(got);
+  EXPECT_TRUE(reports[victim].killed) << "the CrashPlan must have fired";
+  std::map<int64_t, int> expected;
+  for (int i = 0; i < width; ++i) {
+    if (heavy_home(i, nranks) == victim) expected[co_group(i)] = 1;
+  }
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(adopt_counts, expected)
+      << "a group adopted on several ranks re-runs its external-state "
+         "reset once per adopter — the degrade wrong-sum seed";
+}
+
+// --- a second death re-homes work adopted by the first victim's adopter ---
+
+TEST(FailureRecovery, RetrySurvivesDeathOfTheFirstVictimsAdopter) {
+  // kRetry ring order sends all of rank 2's keys to rank 3. Kill rank 3
+  // after it has started adopting: its own keys AND the re-homed keys of
+  // rank 2 are both lost. The adoption sweep at the second confirmed death
+  // must cover every rank in the cumulative dead mask — enumerating only
+  // the just-dead rank leaves rank 2's chains parked in held_ready_
+  // forever while every live rank reports done, i.e. a "successful" run
+  // with silently missing results.
+  const int nranks = 4, width = 96, victim1 = 2, victim2 = 3;
+  vc::FabricConfig cfg;
+  cfg.crash_plans.push_back({victim1, /*after_messages=*/60});
+  vc::Cluster cluster(nranks, cfg);
+  std::vector<double> got(static_cast<size_t>(width), 0.0);
+  std::vector<FaultReport> reports(static_cast<size_t>(nranks));
+  std::mutex mu;
+  std::atomic<bool> first_adoption{false};
+
+  // Second kill fires a moment after the first adoption began on rank 3
+  // (on_adopt runs on the adopter's comm thread), landing mid-recovery
+  // while the re-homed work is still executing there.
+  std::thread second_killer([&] {
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (!first_adoption.load(std::memory_order_acquire)) {
+      if (std::chrono::steady_clock::now() > give_up) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(8));
+    cluster.kill_rank(victim2);
+  });
+
+  cluster.run([&](vc::RankCtx& rctx) {
+    Options opts;
+    opts.num_workers = 2;
+    fast_detector(opts);
+    opts.on_rank_failure = FailurePolicy::kRetry;
+    opts.retry_limit = 2;
+    run_spread(rctx, width, /*spin_us=*/4000, opts, &got, &mu, &reports,
+               /*heavy_group=*/co_group,
+               /*group_adopted=*/[&](int64_t) {
+                 first_adoption.store(true, std::memory_order_release);
+               });
+  });
+  second_killer.join();
+
+  expect_values_correct(got);
+  EXPECT_TRUE(reports[victim1].killed) << "the CrashPlan must have fired";
+  EXPECT_TRUE(reports[victim2].killed)
+      << "the second kill must land before the job finished";
+  const uint64_t dead_mask = (1ULL << victim1) | (1ULL << victim2);
+  for (int r = 0; r < nranks; ++r) {
+    if (r == victim1 || r == victim2) continue;
+    const FaultReport& rep = reports[static_cast<size_t>(r)];
+    EXPECT_FALSE(rep.killed) << "rank " << r;
+    EXPECT_EQ(rep.failure.validate(), "") << "rank " << r;
+    EXPECT_EQ(rep.sched_validate, "") << "rank " << r;
+    EXPECT_EQ(rep.failure.deaths_confirmed, 2u) << "rank " << r;
+    EXPECT_EQ(rep.dead_mask, dead_mask) << "rank " << r;
+  }
 }
 
 // --- escalation: structured error, never a hang ---

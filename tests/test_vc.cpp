@@ -469,6 +469,33 @@ TEST(Cluster, BackToBackAllreducesDontInterfere) {
   EXPECT_FALSE(bad.load());
 }
 
+TEST(Cluster, AllreduceSkipsDeadRankSlotsAfterKill) {
+  // A killed rank's reduce slot keeps its contribution from the last
+  // pre-crash reduction. Survivors are allowed to keep reducing after a
+  // kill (only the victim stops joining collectives), so the rank-0 fold
+  // must skip dead ranks' slots or every post-kill allreduce silently
+  // includes the stale value.
+  Cluster c(3);
+  std::vector<double> pre(3, -1.0), post(3, -1.0);
+  c.run([&](RankCtx& ctx) {
+    pre[static_cast<size_t>(ctx.rank())] =
+        ctx.allreduce_sum(static_cast<double>(ctx.rank() + 1));
+    ctx.barrier();
+    if (ctx.rank() == 0) c.kill_rank(2);
+    ctx.barrier();  // kill visible to everyone past this point
+    if (ctx.rank() == 2) {
+      ctx.barrier_drop();
+      return;
+    }
+    post[static_cast<size_t>(ctx.rank())] =
+        ctx.allreduce_sum(static_cast<double>(ctx.rank() + 1));
+  });
+  for (double r : pre) EXPECT_DOUBLE_EQ(r, 6.0);
+  EXPECT_DOUBLE_EQ(post[0], 3.0) << "stale dead-rank slot folded in";
+  EXPECT_DOUBLE_EQ(post[1], 3.0) << "stale dead-rank slot folded in";
+  EXPECT_DOUBLE_EQ(post[2], -1.0) << "a dead rank must not keep reducing";
+}
+
 TEST(Cluster, SharedCounterIsMonotonicAcrossRanks) {
   Cluster c(4);
   std::mutex mu;
