@@ -17,6 +17,8 @@ double percentile(std::vector<double> samples, double pct) {
   return samples[lo] * (1.0 - frac) + samples[hi] * frac;
 }
 
+void BenchReport::set_schema(const std::string& schema) { schema_ = schema; }
+
 void BenchReport::set_config(const std::string& key,
                              const std::string& value) {
   config_[key] = value;
@@ -69,7 +71,7 @@ void put_num(std::ostringstream& os, double v) {
 
 std::string BenchReport::to_json() const {
   std::ostringstream os;
-  os << "{\n  \"schema\": \"mp-bench-kernels-v1\",\n";
+  os << "{\n  \"schema\": \"" << escape(schema_) << "\",\n";
   auto sha = config_.find("git_sha");
   os << "  \"git_sha\": \""
      << escape(sha != config_.end() ? sha->second : "unknown") << "\",\n";

@@ -45,6 +45,10 @@ double percentile(std::vector<double> samples, double pct);
 
 class BenchReport {
  public:
+  /// Override the document's schema tag (default "mp-bench-kernels-v1");
+  /// other benchmark families (e.g. "mp-bench-resubmit-v1") reuse the
+  /// same case/percentile machinery under their own schema.
+  void set_schema(const std::string& schema);
   void set_config(const std::string& key, const std::string& value);
   void add(BenchCase c);
 
@@ -58,6 +62,7 @@ class BenchReport {
   bool write(const std::string& path) const;
 
  private:
+  std::string schema_ = "mp-bench-kernels-v1";
   std::map<std::string, std::string> config_;
   std::vector<BenchCase> cases_;
 };

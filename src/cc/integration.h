@@ -17,7 +17,10 @@
 // antisymmetric residual contribution.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "cc/ccsd.h"
@@ -29,7 +32,9 @@
 #include "tce/inspector.h"
 #include "tce/original_exec.h"
 #include "tce/ptg_exec.h"
+#include "tce/ptg_session.h"
 #include "tce/reference_exec.h"
+#include "tce/template_cache.h"
 #include "tce/storage.h"
 #include "tce/tiles.h"
 #include "vc/cluster.h"
@@ -49,6 +54,17 @@ struct LadderRunOptions {
   ptg::SchedPolicy policy = ptg::SchedPolicy::kPriority;  // kPtg only
   int workers_per_rank = 2;
   bool enable_tracing = false;
+  /// kPtg only: route the run through the ladder's TemplateCache and a
+  /// persistent PtgSession (DESIGN.md §11). The first call per
+  /// (contraction, variant, runtime-config) pays graph build + thread
+  /// spin-up; every later call is a cheap re-bound resubmission. Off, each
+  /// call rebuilds the graph and spawns fresh threads (the pre-cache path,
+  /// kept for comparison benchmarks).
+  bool reuse_runtime = true;
+  /// kPtg only: forwarded to the runtime (see PtgExecOptions).
+  bool enable_stealing = false;
+  bool enable_failure_detection = false;
+  ptg::FailurePolicy on_rank_failure = ptg::FailurePolicy::kAbort;
 };
 
 struct LadderRunResult {
@@ -83,8 +99,18 @@ class DistributedLadder {
   /// ::combined_ladders.
   LadderKernel make_kernel(LadderRunOptions opts);
 
+  /// Template-cache counters of this ladder's kPtg runs (hits grow once
+  /// per iteration after the first when reuse_runtime is on).
+  tce::TemplateCache::Stats template_cache_stats() const {
+    return tpl_cache_.stats();
+  }
+  /// The persistent session behind `opts` (created on first use); exposed
+  /// so tests can read per-rank reset reports. kPtg/reuse_runtime only.
+  tce::PtgSession& session_for(const LadderRunOptions& opts);
+
  private:
   tce::StoreList stores_for(Contraction c) const;
+  static const char* subroutine_name(Contraction c);
 
   const SpinOrbitalSystem* sys_;
   std::unique_ptr<vc::Cluster> cluster_;
@@ -92,6 +118,12 @@ class DistributedLadder {
   std::unique_ptr<tce::BlockTensor4> v_shape_, t_shape_, r_shape_, w_shape_;
   std::unique_ptr<ga::GlobalArray> v_ga_, t_ga_, r_ga_, w_ga_;
   tce::ChainPlan pp_plan_, hh_plan_, fused_plan_;
+
+  // Declared after the cluster/tensors: sessions reference both and must
+  // be destroyed first (members are destroyed in reverse order).
+  tce::TemplateCache tpl_cache_;
+  std::mutex session_mu_;
+  std::map<std::string, std::unique_ptr<tce::PtgSession>> sessions_;
 };
 
 /// Reconstruct the dense antisymmetric VVOO tensor from the canonical

@@ -1322,25 +1322,297 @@ void Context::comm_loop() {
   }
 }
 
-void Context::run() {
-  MP_REQUIRE(!ran_.exchange(true), "Context::run may only be called once");
+Context::~Context() {
+  if (!threads_started_) return;
+  {
+    std::lock_guard lock(submit_mu_);
+    shutdown_ = true;
+  }
+  submit_cv_.notify_all();
+  for (auto& t : persistent_workers_) {
+    if (t.joinable()) t.join();
+  }
+  if (comm_thread_.joinable()) comm_thread_.join();
+}
 
+void Context::start_persistent_threads() {
+  if (threads_started_) return;
+  threads_started_ = true;
+  comm_thread_ = std::thread([this] { persistent_comm_main(); });
+  for (int w = 1; w < opts_.num_workers; ++w) {
+    persistent_workers_.emplace_back([this, w] { persistent_worker_main(w); });
+  }
+}
+
+void Context::arm_submission() {
+  {
+    std::lock_guard lock(submit_mu_);
+    workers_parked_ = 0;
+    comm_parked_ = false;
+    ++submit_epoch_;
+  }
+  submit_cv_.notify_all();
+}
+
+void Context::wait_workers_parked() {
+  std::unique_lock lock(submit_mu_);
+  submit_cv_.wait(lock, [&] { return workers_parked_ == opts_.num_workers - 1; });
+}
+
+void Context::wait_comm_parked() {
+  std::unique_lock lock(submit_mu_);
+  submit_cv_.wait(lock, [&] { return comm_parked_; });
+}
+
+void Context::persistent_worker_main(int wid) {
+  uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock lock(submit_mu_);
+      submit_cv_.wait(lock, [&] { return shutdown_ || submit_epoch_ > seen; });
+      if (shutdown_) return;
+      seen = submit_epoch_;
+    }
+    worker_loop(wid);
+    {
+      std::lock_guard lock(submit_mu_);
+      ++workers_parked_;
+    }
+    submit_cv_.notify_all();
+  }
+}
+
+void Context::persistent_comm_main() {
+  uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock lock(submit_mu_);
+      submit_cv_.wait(lock, [&] { return shutdown_ || submit_epoch_ > seen; });
+      if (shutdown_) return;
+      seen = submit_epoch_;
+    }
+    comm_loop();
+    {
+      std::lock_guard lock(submit_mu_);
+      comm_parked_ = true;
+    }
+    submit_cv_.notify_all();
+  }
+}
+
+void Context::reset_for_resubmission() {
+  // ---- collective quiesce. The previous run's closing barrier proves no
+  // rank is still sending, but the fabric's delayed-delivery queue may hold
+  // messages whose simulated arrival time lies beyond that barrier (latency
+  // / reorder jitter). Rank 0 flushes them so the mailboxes hold everything
+  // the finished job will ever produce, then every rank drains its own
+  // stragglers (late JOB_DONE replays, credits, heartbeats) and rebases its
+  // dedup windows — otherwise drop gaps pin the watermark and the windows
+  // grow O(submissions) on a lossy fabric.
+  if (rank() == 0) rctx_.cluster().fabric().quiesce();
+  rctx_.barrier();
+
+  reset_local_state(runs_completed_.load(std::memory_order_relaxed));
+
+  // ---- everyone is reset before anyone may send into the fresh windows.
+  rctx_.barrier();
+}
+
+void Context::reset_local_state(uint64_t submission) {
+  // ---- stats discipline first: snapshot every counter pair with its
+  // acquire-ordered reader and validate, BEFORE any counter below is zeroed
+  // (tools/lint.py: reset-stats-discipline). A persistent Context must
+  // never carry an inconsistent pair — or a torn one — into the next
+  // submission.
+  if (!prev_submission_errored_) {
+    const StealStats steal_snap = steal_stats();
+    const std::string steal_bad = steal_snap.validate();
+    MP_REQUIRE(steal_bad.empty(), "reset_for_resubmission: " + steal_bad);
+    const FailureStats failure_snap = failure_stats();
+    const std::string failure_bad = failure_snap.validate();
+    MP_REQUIRE(failure_bad.empty(), "reset_for_resubmission: " + failure_bad);
+    const SchedStats sched_snap = sched_->stats();
+    const std::string sched_bad = sched_snap.validate();
+    MP_REQUIRE(sched_bad.empty(), "reset_for_resubmission: " + sched_bad);
+  }
+  // else: the previous submission unwound mid-flight, so its counter pairs
+  // are legitimately torn (a push whose pop never happened); the reset's
+  // whole job is to discard that state, not to certify it.
+
+  ResetReport rep;
+  rep.submission = submission;
+
+  // ---- drain stragglers (late JOB_DONE replays, credits, heartbeats) and
+  // rebase the dedup windows — otherwise drop gaps pin the watermark and
+  // the windows grow O(submissions) on a lossy fabric. The caller has
+  // guaranteed the mailbox holds everything the finished job will ever
+  // produce, so this drain is complete.
+  vc::Mailbox& mb = rctx_.mailbox();
+  while (mb.try_pop()) ++rep.stale_messages;
+  mb.rebase_windows();
+
+  // ---- per-submission dependency + recovery state
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    rep.pending_deposits += shard.map.size();
+    rep.activated_keys += shard.activated.size();
+    shard.map.clear();
+    shard.activated.clear();
+  }
+  {
+    std::lock_guard lock(adopt_mu_);
+    rep.adopted_keys = adopted_keys_.size();
+    rep.held_ready = held_ready_.size();
+    adopted_keys_.clear();
+    held_ready_.clear();
+  }
+  {
+    std::lock_guard lock(lin_mu_);
+    for (auto& per_dst : lineage_) {
+      rep.lineage_entries += per_dst.size();
+      per_dst.clear();  // bounds the O(activations) retention to one run
+    }
+  }
+  rep.outstanding_migrations = outstanding_migs_.size();
+  outstanding_migs_.clear();
+  {
+    std::lock_guard lock(out_mu_);
+    rep.outbox_messages = outbox_.size();
+    outbox_.clear();
+  }
+  reset_report_ = rep;
+
+  // ---- scheduler: recreate rather than drain — after a clean run the
+  // queues are empty, after an aborted one the leftover ReadyTasks (and
+  // their pooled DataBufs) are released here, and either way the contention
+  // counters restart from zero (validated above).
+  sched_ = Scheduler::create(opts_.policy, opts_.num_workers);
+
+  // ---- re-arm counters and latches. Parked threads give these stores no
+  // one to race; release keeps the counter-pair discipline's edges intact
+  // for the next submission's first acquire snapshot.
+  expected_.store(0, std::memory_order_release);
+  executed_.store(0, std::memory_order_release);
+  seq_.store(0, std::memory_order_relaxed);
+  remote_sent_.store(0, std::memory_order_relaxed);
+  progress_.store(0, std::memory_order_relaxed);
+  st_requests_sent_.store(0, std::memory_order_release);
+  st_requests_received_.store(0, std::memory_order_release);
+  st_replies_sent_.store(0, std::memory_order_release);
+  st_replies_received_.store(0, std::memory_order_release);
+  st_migrated_out_.store(0, std::memory_order_release);
+  st_migrated_in_.store(0, std::memory_order_release);
+  st_credits_sent_.store(0, std::memory_order_release);
+  st_credits_received_.store(0, std::memory_order_release);
+  fs_heartbeats_sent_.store(0, std::memory_order_release);
+  fs_heartbeats_received_.store(0, std::memory_order_release);
+  fs_probes_sent_.store(0, std::memory_order_release);
+  fs_probes_answered_.store(0, std::memory_order_release);
+  fs_suspicions_.store(0, std::memory_order_release);
+  fs_suspicions_cleared_.store(0, std::memory_order_release);
+  fs_deaths_confirmed_.store(0, std::memory_order_release);
+  fs_tasks_adopted_.store(0, std::memory_order_release);
+  fs_lineage_replayed_.store(0, std::memory_order_release);
+  fs_tasks_reinjected_.store(0, std::memory_order_release);
+  fs_fenced_dropped_.store(0, std::memory_order_release);
+  fs_dup_deposits_dropped_.store(0, std::memory_order_release);
+  fs_watchdog_resets_on_death_.store(0, std::memory_order_release);
+  foreign_pending_.store(0, std::memory_order_relaxed);
+  steal_outstanding_.store(0, std::memory_order_relaxed);
+  done_.store(false, std::memory_order_relaxed);
+  local_complete_.store(false, std::memory_order_relaxed);
+  comm_stop_.store(false, std::memory_order_relaxed);
+  abort_broadcast_.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(error_mu_);
+    first_error_ = nullptr;  // a failed submission may be retried
+  }
+  // The confirmed-dead set is re-discovered each submission: the detector
+  // re-confirms still-dead peers from scratch, which also re-runs adoption
+  // so the new submission's instances get recovered too.
+  confirmed_dead_mask_.store(0, std::memory_order_release);
+  if (rank() == 0) {
+    std::lock_guard lock(term_mu_);
+    std::fill(rank_done_seen_.begin(), rank_done_seen_.end(), uint8_t{0});
+    std::fill(rank_done_mask_.begin(), rank_done_mask_.end(), uint64_t{0});
+    job_done_broadcast_ = false;
+  }
+  load_hints_.assign(static_cast<size_t>(nranks()), -1);
+  next_steal_at_ = {};
+  steal_reply_deadline_ = {};
+  next_done_resend_ = {};
+  // last_heard_ / suspect_since_ / next_heartbeat_ are re-initialized at
+  // comm_loop entry; the sticky suspicion flags are not.
+  std::fill(peer_suspect_.begin(), peer_suspect_.end(), uint8_t{0});
+
+  epoch_ = std::chrono::steady_clock::now();
+  for (auto& evs : worker_events_) evs.clear();
+  comm_events_.clear();
+  trace_.clear();
+}
+
+void Context::run() {
+  if (opts_.persistent) {
+    MP_REQUIRE(!killed_.load(std::memory_order_acquire),
+               "Context::run: this rank was crash-injected; a killed Context "
+               "cannot be resubmitted (std::barrier drop is permanent)");
+    MP_REQUIRE(!running_.exchange(true),
+               "Context::run: concurrent run() on one Context");
+    struct Guard {
+      std::atomic<bool>& flag;
+      ~Guard() { flag.store(false); }
+    } guard{running_};
+    if (needs_reset_) reset_for_resubmission();
+    // Mark dirty *before* running: if run_submission unwinds (watchdog,
+    // task error, abort broadcast) the next submission must still reset —
+    // that unwind is collective across live ranks, so they all will.
+    needs_reset_ = true;
+    prev_submission_errored_ = true;
+    run_submission();
+    prev_submission_errored_ = false;
+    runs_completed_.fetch_add(1, std::memory_order_release);
+    return;
+  }
+  MP_REQUIRE(!ran_.exchange(true), "Context::run may only be called once");
+  run_submission();
+  runs_completed_.fetch_add(1, std::memory_order_release);
+}
+
+void Context::run_submission() {
   // Pre-execution graph verification (mp-verify pass 1). The graph is the
   // same on every rank, so rank 0 checks it for the whole job; a malformed
-  // graph fails fast here instead of silently corrupting results.
-  if (rank() == 0 && env_verify_enabled()) {
+  // graph fails fast here instead of silently corrupting results. In
+  // persistent mode the pass runs once per Context — the pool and cluster
+  // size are fixed for its lifetime — and a template that was already
+  // verified at cache-build time skips it entirely (assume_verified).
+  if (rank() == 0 && env_verify_enabled() && !opts_.assume_verified &&
+      !verified_once_) {
+    verified_once_ = true;
     const auto diags = validate_plan();
     if (!diags.empty()) {
-      // The other ranks are already entering their comm loops; without an
-      // abort broadcast they would sit out their full watchdog timeout
-      // waiting for activations this rank will never send.
-      if (!abort_broadcast_.exchange(true)) {
-        for (int r = 0; r < nranks(); ++r) {
-          if (r != rank()) rctx_.send(r, kTagAbort, {});
+      StateError err("MP_VERIFY: task graph failed static verification; " +
+                     analysis::render(diags));
+      if (opts_.persistent) {
+        // Unwind collectively: record_error broadcasts the abort, every
+        // rank's threads drain out, and all live ranks meet the error
+        // path's barrier below before rethrowing — the Context (and the
+        // cluster's barrier) stay usable for a corrected resubmission.
+        try {
+          throw err;
+        } catch (...) {
+          record_error(err.what());
         }
+      } else {
+        // The other ranks are already entering their comm loops; without an
+        // abort broadcast they would sit out their full watchdog timeout
+        // waiting for activations this rank will never send.
+        if (!abort_broadcast_.exchange(true)) {
+          for (int r = 0; r < nranks(); ++r) {
+            if (r != rank()) rctx_.send(r, kTagAbort, {});
+          }
+        }
+        throw err;
       }
-      throw StateError("MP_VERIFY: task graph failed static verification; " +
-                       analysis::render(diags));
     }
   }
 
@@ -1356,18 +1628,32 @@ void Context::run() {
     done_.store(true);
   }
 
-  std::thread comm([this] { comm_loop(); });
-  std::vector<std::thread> workers;
-  for (int w = 1; w < opts_.num_workers; ++w) {
-    workers.emplace_back([this, w] { worker_loop(w); });
-  }
-  if (!done_.load()) {
-    worker_loop(0);  // the calling thread is worker 0
-  }
-  for (auto& t : workers) t.join();
+  if (!opts_.persistent) {
+    std::thread comm([this] { comm_loop(); });
+    std::vector<std::thread> workers;
+    for (int w = 1; w < opts_.num_workers; ++w) {
+      workers.emplace_back([this, w] { worker_loop(w); });
+    }
+    if (!done_.load()) {
+      worker_loop(0);  // the calling thread is worker 0
+    }
+    for (auto& t : workers) t.join();
 
-  comm_stop_.store(true, std::memory_order_release);
-  comm.join();
+    comm_stop_.store(true, std::memory_order_release);
+    comm.join();
+  } else {
+    // Steady-state resubmission: no thread churn. The long-lived threads
+    // (spawned once, on the first submission) are parked on the submission
+    // epoch; arming wakes them straight into their loops.
+    start_persistent_threads();
+    arm_submission();
+    if (!done_.load()) {
+      worker_loop(0);  // the calling thread is still worker 0
+    }
+    wait_workers_parked();
+    comm_stop_.store(true, std::memory_order_release);
+    wait_comm_parked();
+  }
 
   if (killed_.load(std::memory_order_acquire)) {
     // This rank was crash-injected: stay silent. No rethrow, no result
@@ -1398,6 +1684,33 @@ void Context::run() {
   // All outputs flushed; synchronize the job before returning control to
   // the embedding application (NWChem in the paper).
   rctx_.barrier();
+}
+
+bool Context::try_reset_in_band() {
+  // Steady-state fast path: after a *clean* persistent run on a fabric
+  // that has never been able to disturb or delay a message, the closing
+  // barrier already proves the mailbox is final — every send was delivered
+  // synchronously before its sender reached the barrier, and with
+  // stealing and failure detection off no control traffic (heartbeats,
+  // straggling STEAL_REQUESTs, aborts) can arrive afterwards. The local
+  // reset is therefore safe right now, with no quiesce and no extra
+  // barriers: the caller (PtgSession) orders it before the next
+  // submission by its own all-ranks completion rendezvous. This turns the
+  // three collectives of the lazy reset-then-run sequence into one.
+  if (!opts_.persistent) return false;
+  if (!needs_reset_ || prev_submission_errored_) return false;
+  if (killed_.load(std::memory_order_acquire)) return false;
+  if (stealing_active() || failure_active()) return false;
+  if (!rctx_.cluster().fabric().lossless_immediate()) return false;
+  MP_REQUIRE(!running_.exchange(true),
+             "Context::try_reset_in_band: concurrent with run()");
+  struct Guard {
+    std::atomic<bool>& flag;
+    ~Guard() { flag.store(false); }
+  } guard{running_};
+  reset_local_state(runs_completed_.load(std::memory_order_relaxed));
+  needs_reset_ = false;
+  return true;
 }
 
 }  // namespace mp::ptg

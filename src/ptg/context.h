@@ -32,6 +32,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -142,6 +143,22 @@ struct Options {
   /// kRetry tolerates up to this many deaths, then escalates. kDegrade
   /// always tolerates exactly one.
   int retry_limit = 1;
+
+  // -- persistent runtime (template-cached resubmission path, DESIGN.md §11)
+
+  /// Keep the worker and comm threads alive across run() calls: run() may
+  /// be invoked repeatedly on the same Context, and every call after the
+  /// first starts with a collective between-runs reset (dependency counters
+  /// re-armed, stats pairs validated then drained, mailbox dedup windows
+  /// rebased, lineage logs and recovery state cleared). Threads park on a
+  /// submission epoch between runs instead of being joined, so a steady-
+  /// state submission pays no thread spin-up. All ranks of the job must
+  /// agree on this flag — the reset contains barriers, like run() itself.
+  bool persistent = false;
+  /// The taskpool's graph was already verified for this cluster size (the
+  /// template cache runs mp-verify once when a template is built): skip the
+  /// MP_VERIFY pass entirely, even on the first submission.
+  bool assume_verified = false;
 };
 
 /// Counters of the inter-node steal protocol, one instance per rank. All
@@ -213,16 +230,60 @@ class Context {
   static constexpr int kTagHeartbeat = 108;
 
   Context(vc::RankCtx& rank_ctx, const Taskpool& pool, Options opts = {});
+  /// Persistent mode: parks are woken for shutdown and the long-lived
+  /// threads are joined. One-shot mode: no threads outlive run(); no-op.
+  ~Context();
 
   Context(const Context&) = delete;
   Context& operator=(const Context&) = delete;
 
   /// Execute the PTG to completion. Collective across ranks (ends with a
-  /// barrier). May be called once per Context. When the MP_VERIFY
-  /// environment variable is set (to anything but "0"), rank 0 first runs
-  /// validate_plan() and the whole job aborts with a StateError carrying
-  /// the diagnostics if the graph is malformed.
+  /// barrier). May be called once per Context — or repeatedly with
+  /// Options::persistent, where each call after the first begins with the
+  /// collective between-runs reset and reuses the parked threads. When the
+  /// MP_VERIFY environment variable is set (to anything but "0"), rank 0
+  /// first runs validate_plan() and the whole job aborts with a StateError
+  /// carrying the diagnostics if the graph is malformed; in persistent mode
+  /// the pass runs once per Context (the graph and cluster size cannot
+  /// change) and Options::assume_verified elides it altogether.
   void run();
+
+  /// Per-submission state observed (and cleared) by the most recent
+  /// between-runs reset — persistent mode only. Sizes are captured before
+  /// clearing, so tests can assert nothing leaks across submissions: after
+  /// a clean (no-fault) run, every field except `submission` and
+  /// `lineage_entries`/`activated_keys` (which bound the documented
+  /// O(activations) retention to exactly one submission) must be zero.
+  struct ResetReport {
+    uint64_t submission = 0;      ///< 1-based index of the finished run
+    size_t pending_deposits = 0;  ///< task instances still awaiting inputs
+    size_t activated_keys = 0;    ///< failure-mode dedup set entries
+    size_t lineage_entries = 0;   ///< remote-activation lineage retained
+    size_t held_ready = 0;        ///< parked pre-adoption input sets
+    size_t adopted_keys = 0;      ///< keys adopted from dead ranks
+    size_t outstanding_migrations = 0;  ///< migrated-out, never credited
+    size_t stale_messages = 0;    ///< late mailbox stragglers drained
+    size_t outbox_messages = 0;   ///< unflushed outbound sends dropped
+  };
+  const ResetReport& last_reset_report() const { return reset_report_; }
+
+  /// Persistent-mode steady-state fast path: perform the between-runs
+  /// reset right now, with no collectives, if it is provably safe — the
+  /// previous run() completed cleanly, stealing and failure detection are
+  /// off, and the fabric is Fabric::lossless_immediate() (so the closing
+  /// barrier already proved the mailbox final and nothing can straggle
+  /// in). Returns true if the reset ran; false means the next run() will
+  /// fall back to the collective quiesce-and-drain reset. The caller must
+  /// order this before any rank begins the next submission (PtgSession
+  /// does so via its all-ranks completion rendezvous) and must call it
+  /// from the same thread that calls run(). Call only after extracting
+  /// per-run results — the reset zeroes every counter.
+  bool try_reset_in_band();
+
+  /// Completed run() calls on this Context.
+  uint64_t submissions() const {
+    return runs_completed_.load(std::memory_order_acquire);
+  }
 
   /// Statically verify the taskpool's materialized graph for this cluster
   /// size (acyclicity, no dropped/duplicated edges, no orphan tasks, no
@@ -284,6 +345,39 @@ class Context {
   static constexpr int kShards = 16;
 
   void enumerate_startup();
+  /// One full submission: verify (if due), enumerate, execute, unwind.
+  /// Shared by the one-shot and persistent paths; only thread management
+  /// differs (spawn+join vs wake-parked+wait-parked).
+  void run_submission();
+  /// Persistent mode, collective: restore every piece of per-submission
+  /// state to its freshly-constructed value between two run() calls. Must
+  /// only run while all of this rank's threads are parked and after the
+  /// previous run's closing barrier. Snapshots + validates all stats pairs
+  /// BEFORE zeroing any counter (lint: reset-stats-discipline), quiesces
+  /// the fabric (rank 0) and drains/rebases the mailbox between barriers,
+  /// and records what it cleared in last_reset_report().
+  void reset_for_resubmission();
+  /// The local (non-collective) body of the reset: stats validation, state
+  /// clears, counter re-arm, mailbox drain + window rebase. Requires all of
+  /// this rank's threads parked AND a guarantee that no message is in
+  /// flight or can still arrive. reset_for_resubmission() establishes that
+  /// with a quiesce + barrier pair; try_reset_in_band() gets it for free
+  /// from a clean run on a Fabric::lossless_immediate() fabric.
+  /// `submission` is recorded in last_reset_report().
+  void reset_local_state(uint64_t submission);
+  /// Persistent mode: spawn the long-lived comm + worker threads (first
+  /// submission only; idempotent).
+  void start_persistent_threads();
+  /// Persistent mode: publish a new submission epoch and wake every parked
+  /// thread into its loop.
+  void arm_submission();
+  /// Persistent mode: block until all parked (workers / comm).
+  void wait_workers_parked();
+  void wait_comm_parked();
+  /// Long-lived thread bodies: wait for an epoch (or shutdown), run the
+  /// corresponding loop, park, repeat.
+  void persistent_worker_main(int wid);
+  void persistent_comm_main();
   /// Capture current exception, force shutdown. `reason` (when non-empty)
   /// rides in the abort broadcast so peers raise a StateError naming the
   /// real cause instead of a generic "task failure on rank N".
@@ -500,6 +594,33 @@ class Context {
   std::vector<std::vector<TraceEvent>> worker_events_;
   std::vector<TraceEvent> comm_events_;
   Trace trace_;
+
+  // -- persistent-mode machinery (Options::persistent) --
+  /// Serial-entry guard for run() in persistent mode (ran_ stays the
+  /// one-shot guard); also trips if run() is re-entered while running.
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> runs_completed_{0};
+  /// A submission has run (even one that unwound), so the next run() must
+  /// reset first. Only touched while running_ is held, hence plain bools.
+  bool needs_reset_ = false;
+  /// The last submission unwound with an error: its counter pairs are
+  /// legitimately torn, so the next reset skips the strict validation.
+  bool prev_submission_errored_ = false;
+  /// MP_VERIFY ran for this Context (persistent: once per template epoch).
+  bool verified_once_ = false;
+  bool threads_started_ = false;
+  /// submit_mu_ guards the park/wake handshake: epoch, park counts and the
+  /// shutdown flag. One CV serves arming (run -> threads) and parking
+  /// (threads -> run) — contention is nil, transitions are rare.
+  std::mutex submit_mu_;
+  std::condition_variable submit_cv_;
+  uint64_t submit_epoch_ = 0;
+  int workers_parked_ = 0;
+  bool comm_parked_ = false;
+  bool shutdown_ = false;
+  std::thread comm_thread_;
+  std::vector<std::thread> persistent_workers_;
+  ResetReport reset_report_;
 };
 
 }  // namespace mp::ptg

@@ -5,6 +5,7 @@
 
 #include "ga/hash_block.h"
 #include "linalg/gemm.h"
+#include "ptg/context.h"
 #include "linalg/sort4.h"
 #include "support/analysis.h"
 #include "support/error.h"
@@ -50,9 +51,15 @@ PtgBuild build_ptg(const ChainPlan& plan, const StoreList& stores,
   const StoreList* st = &stores;
   auto home = [nranks](int l1) { return l1 % nranks; };
 
-  // Node-level mutex protecting the WRITE critical region (Section IV-A):
-  // one per rank, shared by every WRITE task executing on that rank.
-  auto write_mutex = std::make_shared<std::mutex>();
+  // Node-level mutexes protecting the WRITE critical region (Section IV-A):
+  // one per rank, shared by every WRITE task executing on that rank. The
+  // array is indexed by the *executing* rank because one materialized pool
+  // may be shared by every rank's Context (the template-cache path): a
+  // single mutex would silently widen the paper's per-node critical region
+  // into a global one. Indexing by executing rank also keeps an adopted
+  // WRITE (rank-failure recovery) serialized with its adopter's own writes.
+  auto write_mutexes =
+      std::make_shared<std::vector<std::mutex>>(static_cast<size_t>(nranks));
 
   PtgBuild b;
   ptg::Taskpool& pool = b.pool;
@@ -275,15 +282,17 @@ PtgBuild build_ptg(const ChainPlan& plan, const StoreList& stores,
       }
       return out;
     };
-    c.body = [pl, st, write_mutex, pwrites, psorts](TaskCtx& t) {
+    c.body = [pl, st, write_mutexes, pwrites, psorts](TaskCtx& t) {
       const Chain& ch = pl->chains[static_cast<size_t>(t.params()[0])];
       const TensorStore& ts = (*st)[static_cast<size_t>(ch.r_store)];
       // The node-level critical region of Section IV-A: every WRITE on this
       // rank serializes on one mutex, exactly like the pthread mutex in the
       // paper's implementation.
+      std::mutex* write_mutex =
+          &(*write_mutexes)[static_cast<size_t>(t.runtime().rank())];
       // mp-lint: allow(lock-in-task-body) — the paper's WRITE critical region
       std::lock_guard lock(*write_mutex);
-      MP_ANNOTATE_LOCK_ACQUIRED(write_mutex.get());
+      MP_ANNOTATE_LOCK_ACQUIRED(write_mutex);
       if (pwrites || !psorts) {
         ga::add_hash_block(*ts.ga, ts.shape->index(), ch.c_key,
                            t.input(0)->data());
@@ -293,7 +302,7 @@ PtgBuild build_ptg(const ChainPlan& plan, const StoreList& stores,
                              t.input(static_cast<int>(i))->data());
         }
       }
-      MP_ANNOTATE_LOCK_RELEASED(write_mutex.get());
+      MP_ANNOTATE_LOCK_RELEASED(write_mutex);
     };
     // Rank-failure recovery (DESIGN.md §10): WRITE_C accumulates into the
     // GA, so a dead rank may have already added some chains' contributions

@@ -34,7 +34,10 @@ struct PtgBuild {
 
 /// Construct the PTG for `plan` under `variant` on `nranks` ranks. The
 /// returned taskpool's lambdas capture `plan` and `stores` by reference:
-/// both must outlive the taskpool (and any Context running it).
+/// both must outlive the taskpool (and any Context running it). Prefer
+/// PtgTemplate (tce/template_cache.h), which owns both and removes the
+/// lifetime hazard — this raw entry point remains for the one-shot
+/// executor and the static verifier.
 PtgBuild build_ptg(const ChainPlan& plan, const StoreList& stores,
                    const VariantConfig& variant, int nranks);
 

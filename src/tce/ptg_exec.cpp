@@ -2,18 +2,11 @@
 
 #include "support/error.h"
 #include "tce/ptg_build.h"
+#include "tce/template_cache.h"
 
 namespace mp::tce {
 
-PtgExecResult execute_ptg(vc::RankCtx& rctx, const ChainPlan& plan,
-                          const StoreList& stores,
-                          const PtgExecOptions& opts) {
-  // The taskpool is rebuilt per rank from the same symbolic description;
-  // every rank therefore evaluates the identical graph (ptg_build.h). The
-  // static verifier can check that graph before this call ever runs — see
-  // tools/mp-verify and Context::validate_plan().
-  PtgBuild build = build_ptg(plan, stores, opts.variant, rctx.nranks());
-
+ptg::Options runtime_options(const PtgExecOptions& opts) {
   ptg::Options ropts;
   ropts.num_workers = opts.workers_per_rank;
   ropts.policy = opts.policy;
@@ -28,17 +21,13 @@ PtgExecResult execute_ptg(vc::RankCtx& rctx, const ChainPlan& plan,
   ropts.heartbeat_interval_ms = opts.heartbeat_interval_ms;
   ropts.suspect_after_ms = opts.suspect_after_ms;
   ropts.confirm_after_ms = opts.confirm_after_ms;
+  ropts.watchdog_timeout_ms = opts.watchdog_timeout_ms;
+  return ropts;
+}
 
-  ptg::Context ctx(rctx, build.pool, ropts);
-  ctx.run();
-
+PtgExecResult result_from_context(const ptg::Context& ctx,
+                                  const ptg::Taskpool& pool) {
   PtgExecResult res;
-  if (ctx.killed()) {
-    // Crash-injected rank: run() already dropped out of the cluster barrier.
-    // Report nothing and issue no further collectives from here.
-    res.killed = true;
-    return res;
-  }
   res.trace = ctx.trace();
   res.tasks_executed = ctx.tasks_executed();
   res.tasks_completed = ctx.tasks_completed();
@@ -47,10 +36,52 @@ PtgExecResult execute_ptg(vc::RankCtx& rctx, const ChainPlan& plan,
   res.sched = ctx.scheduler_stats();
   res.steal = ctx.steal_stats();
   res.failure = ctx.failure_stats();
-  for (size_t i = 0; i < build.pool.num_classes(); ++i) {
-    res.class_names.push_back(build.pool.cls(static_cast<int16_t>(i)).name);
+  for (size_t i = 0; i < pool.num_classes(); ++i) {
+    res.class_names.push_back(pool.cls(static_cast<int16_t>(i)).name);
   }
   return res;
+}
+
+PtgExecResult execute_ptg(vc::RankCtx& rctx, const ChainPlan& plan,
+                          const StoreList& stores,
+                          const PtgExecOptions& opts) {
+  ptg::Options ropts = runtime_options(opts);
+
+  // Template-cache fast path: the pool is already materialized (and, when
+  // MP_VERIFY was set at build time, already statically verified once for
+  // this key) — the per-call build below is skipped entirely. The caller
+  // re-bound the template to `stores` before entering the SPMD region.
+  if (opts.tpl != nullptr) {
+    MP_REQUIRE(opts.tpl->key().nranks == rctx.nranks(),
+               "execute_ptg: template/cluster rank-count mismatch");
+    ropts.assume_verified = opts.tpl->verified();
+    ptg::Context ctx(rctx, opts.tpl->pool(), ropts);
+    ctx.run();
+    if (ctx.killed()) {
+      PtgExecResult res;
+      res.killed = true;
+      return res;
+    }
+    return result_from_context(ctx, opts.tpl->pool());
+  }
+
+  // The taskpool is rebuilt per rank from the same symbolic description;
+  // every rank therefore evaluates the identical graph (ptg_build.h). The
+  // static verifier can check that graph before this call ever runs — see
+  // tools/mp-verify and Context::validate_plan().
+  PtgBuild build = build_ptg(plan, stores, opts.variant, rctx.nranks());
+
+  ptg::Context ctx(rctx, build.pool, ropts);
+  ctx.run();
+
+  if (ctx.killed()) {
+    // Crash-injected rank: run() already dropped out of the cluster barrier.
+    // Report nothing and issue no further collectives from here.
+    PtgExecResult res;
+    res.killed = true;
+    return res;
+  }
+  return result_from_context(ctx, build.pool);
 }
 
 }  // namespace mp::tce

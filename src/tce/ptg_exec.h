@@ -34,6 +34,8 @@
 
 namespace mp::tce {
 
+class PtgTemplate;
+
 struct PtgExecOptions {
   VariantConfig variant = VariantConfig::v5();
   int workers_per_rank = 2;
@@ -56,6 +58,18 @@ struct PtgExecOptions {
   double heartbeat_interval_ms = 20.0;
   double suspect_after_ms = 150.0;
   double confirm_after_ms = 300.0;
+  /// Never-hang backstop, forwarded to ptg::Options::watchdog_timeout_ms
+  /// (0 disables). Persistent sessions rely on it: a submission stalled by
+  /// message loss must unwind with a StateError so the session stays
+  /// usable for the next submit().
+  double watchdog_timeout_ms = 30000.0;
+  /// Optional cached materialization (tce/template_cache.h): when set, the
+  /// executor runs the template's pool — already re-bound to this
+  /// submission's stores by the caller — instead of paying build_ptg, and
+  /// skips the per-run MP_VERIFY pass when the template was verified at
+  /// build time. The template's key (variant, nranks) must match `variant`
+  /// and the cluster. Not owned; must outlive the call.
+  const PtgTemplate* tpl = nullptr;
 };
 
 struct PtgExecResult {
@@ -75,9 +89,21 @@ struct PtgExecResult {
   bool killed = false;
 };
 
+/// Map executor options onto runtime options. Shared by execute_ptg and
+/// the persistent PtgSession so both paths configure the runtime the same
+/// way (persistent/assume_verified are left at their defaults).
+ptg::Options runtime_options(const PtgExecOptions& opts);
+
+/// Extract the per-rank result block from a Context whose run() returned
+/// without this rank being killed.
+PtgExecResult result_from_context(const ptg::Context& ctx,
+                                  const ptg::Taskpool& pool);
+
 /// Execute the plan over the PTG runtime. Collective across ranks. Works
 /// for single-contraction plans and fused multi-subroutine plans alike —
-/// `stores` must cover every store id the plan's chains reference.
+/// `stores` must cover every store id the plan's chains reference. With
+/// `opts.tpl` set the materialized template pool is reused (no build, no
+/// re-verification); `plan` is then ignored.
 PtgExecResult execute_ptg(vc::RankCtx& rctx, const ChainPlan& plan,
                           const StoreList& stores,
                           const PtgExecOptions& opts);

@@ -34,6 +34,12 @@ Fabric::Fabric(std::vector<Mailbox>* mailboxes, FabricConfig cfg)
                    cp.victim < 64,
                "Fabric: CrashPlan victim out of range");
   }
+  bool lossless = !delayed_ && !cfg_.faults.any() && cfg_.crash_plans.empty();
+  for (const auto& [link, faults] : cfg_.link_faults) {
+    (void)link;
+    if (faults.any()) lossless = false;
+  }
+  lossless_immediate_.store(lossless, std::memory_order_release);
   if (delayed_) {
     delivery_thread_ = std::thread([this] { delivery_loop(); });
   }
@@ -185,6 +191,7 @@ void Fabric::kill_rank(int rank) {
   MP_REQUIRE(rank >= 0 && static_cast<size_t>(rank) < mailboxes_->size() &&
                  rank < 64,
              "Fabric::kill_rank: bad rank");
+  lossless_immediate_.store(false, std::memory_order_release);
   const uint64_t bit = 1ULL << rank;
   // Counter-pair ordering: ranks_killed goes up BEFORE the dead bit is
   // published, so a blackholed message (which requires observing the bit)
@@ -213,6 +220,7 @@ void Fabric::revive_rank(int rank) {
 }
 
 void Fabric::partition(int src, int dst) {
+  lossless_immediate_.store(false, std::memory_order_release);
   std::lock_guard lock(part_mu_);
   partitioned_links_.insert({src, dst});
   has_partitions_.store(1, std::memory_order_release);
@@ -253,6 +261,22 @@ void Fabric::delivery_loop() {
       lock.lock();
     }
   }
+}
+
+void Fabric::quiesce() {
+  if (!delayed_) return;
+  // Collect under the lock, deliver outside it: deliver() takes the
+  // destination mailbox's lock and fabric-lock -> mailbox-lock nesting is
+  // avoidable here (nobody races new sends at a quiescent point).
+  std::vector<Message> flush;
+  {
+    std::lock_guard lock(mu_);
+    while (!pending_.empty()) {
+      flush.push_back(std::move(const_cast<Pending&>(pending_.top()).msg));
+      pending_.pop();
+    }
+  }
+  for (Message& m : flush) deliver(std::move(m));
 }
 
 void Fabric::shutdown() {

@@ -86,6 +86,38 @@ class Mailbox {
     windows_.erase(src);
   }
 
+  /// Collapse every per-source window to a plain high-water mark: the
+  /// watermark jumps to the highest seq ever accepted and the out-of-order
+  /// set is cleared. Only safe at a quiescent point where no message with a
+  /// seq at or below that maximum can still arrive (between persistent-
+  /// runtime submissions, after the job's closing barrier and a fabric
+  /// quiesce): the gaps below the maximum belong to messages the fabric
+  /// genuinely dropped, which the window would otherwise remember forever —
+  /// `above` grows without bound across submissions on a lossy fabric.
+  void rebase_windows() {
+    std::lock_guard lock(mu_);
+    for (auto& [src, w] : windows_) {
+      (void)src;
+      if (!w.above.empty()) {
+        w.watermark = std::max(w.watermark, *w.above.rbegin());
+        w.above.clear();
+      }
+    }
+  }
+
+  /// Total out-of-order seqs currently remembered across all sources (the
+  /// state rebase_windows() collapses). Tests assert this stays bounded
+  /// across repeated submissions instead of accumulating drop gaps.
+  size_t window_backlog() const {
+    std::lock_guard lock(mu_);
+    size_t n = 0;
+    for (const auto& [src, w] : windows_) {
+      (void)src;
+      n += w.above.size();
+    }
+    return n;
+  }
+
   bool closed() const {
     std::lock_guard lock(mu_);
     return closed_;

@@ -1,0 +1,318 @@
+// Persistent-session resubmission under fabric faults (ctest labels:
+// stress, resubmit). A PtgSession keeps one runtime alive across many
+// submissions, so every fault mode now has a *second* axis: it must not
+// only be survived within a submission, it must not leak into the next
+// one. The contract across the matrix — duplicated/reordered/dropped
+// messages, one-sided partitions, rank kills mid-submission and between
+// submissions, revival of a killed rank — is that each submit() either
+// returns the exact reference result on every live rank or unwinds with a
+// clean StateError, the session stays usable afterwards, every counter
+// self-check holds, and per-submission state (mailbox dedup windows,
+// lineage, adoption sets) stays bounded instead of accumulating across the
+// stream. Designed to run under -DMP_SANITIZE=thread and =address.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ga/global_array.h"
+#include "support/rng.h"
+#include "tce/block_tensor.h"
+#include "tce/inspector.h"
+#include "tce/ptg_session.h"
+#include "tce/reference_exec.h"
+#include "tce/template_cache.h"
+#include "tce/tiles.h"
+#include "vc/cluster.h"
+#include "vc/fabric.h"
+
+namespace mp::tce {
+namespace {
+
+constexpr int kRanks = 4;
+
+TileSpaceSpec small_spec() {
+  TileSpaceSpec s;
+  s.n_occ_alpha = 3;
+  s.n_occ_beta = 3;
+  s.n_virt_alpha = 5;
+  s.n_virt_beta = 5;
+  s.tile_size = 2;
+  return s;
+}
+
+/// t2_7 on a fault-configurable cluster, executed through a TemplateCache +
+/// PtgSession instead of per-call cluster.run/execute_ptg.
+class SessionHarness {
+ public:
+  explicit SessionHarness(const vc::FabricConfig& cfg,
+                          bool failure_detection = false,
+                          double watchdog_ms = 30000.0) {
+    space_ = std::make_unique<TileSpace>(small_spec());
+    v_shape_ = std::make_unique<BlockTensor4>(
+        *space_, std::array<RangeKind, 4>{RangeKind::kVirt, RangeKind::kVirt,
+                                          RangeKind::kVirt, RangeKind::kVirt});
+    t_shape_ = std::make_unique<BlockTensor4>(
+        *space_, std::array<RangeKind, 4>{RangeKind::kVirt, RangeKind::kVirt,
+                                          RangeKind::kOcc, RangeKind::kOcc});
+    r_shape_ = std::make_unique<BlockTensor4>(
+        *space_,
+        std::array<RangeKind, 4>{RangeKind::kVirt, RangeKind::kVirt,
+                                 RangeKind::kOcc, RangeKind::kOcc},
+        true, true);
+    plan_ = inspect_t2_7(*space_, {v_shape_.get(), t_shape_.get(),
+                                   r_shape_.get()});
+
+    cluster_ = std::make_unique<vc::Cluster>(kRanks, cfg);
+    v_ga_ = std::make_unique<ga::GlobalArray>(cluster_.get(),
+                                              v_shape_->ga_size());
+    t_ga_ = std::make_unique<ga::GlobalArray>(cluster_.get(),
+                                              t_shape_->ga_size());
+    r_ga_ = std::make_unique<ga::GlobalArray>(cluster_.get(),
+                                              r_shape_->ga_size());
+    Rng rng(11);
+    fill_random(*v_ga_, rng);
+    fill_random(*t_ga_, rng);
+    storage_.v = {v_shape_.get(), v_ga_.get()};
+    storage_.t = {t_shape_.get(), t_ga_.get()};
+    storage_.r = {r_shape_.get(), r_ga_.get()};
+
+    reference_.assign(static_cast<size_t>(r_shape_->ga_size()), 0.0);
+    execute_reference(plan_, storage_);
+    r_ga_->get(0, r_shape_->ga_size(), reference_.data());
+
+    PtgExecOptions opts;
+    opts.variant = VariantConfig::v5();
+    opts.workers_per_rank = 2;
+    opts.watchdog_timeout_ms = watchdog_ms;
+    if (failure_detection) {
+      opts.enable_failure_detection = true;
+      opts.heartbeat_interval_ms = 2.0;
+      // Wide windows, as in test_failure_stress.cpp: an oversubscribed CI
+      // box can starve a live peer's comm thread for tens of ms.
+      opts.suspect_after_ms = 60.0;
+      opts.confirm_after_ms = 200.0;
+      opts.on_rank_failure = ptg::FailurePolicy::kRetry;
+      opts.retry_limit = 1;
+    }
+
+    TemplateKey key;
+    key.subroutine = "t2_7";
+    key.tile_fingerprint = fingerprint_tile_space(space_->spec());
+    key.variant = variant_signature(opts.variant);
+    key.nranks = kRanks;
+    tpl_ = cache_.get_or_build(key, plan_, storage_.stores(), opts.variant);
+    session_ = std::make_unique<PtgSession>(*cluster_, tpl_, opts);
+  }
+
+  /// One submission. Returns "" on a correct completed run, the error
+  /// string if submit() raised, or a description of the first mismatch.
+  std::string submit_once() {
+    r_ga_->zero();
+    const std::vector<PtgExecResult>* results = nullptr;
+    try {
+      results = &session_->submit(storage_.stores());
+    } catch (const StateError& e) {
+      return e.what();
+    }
+    for (int r = 0; r < kRanks; ++r) {
+      const auto& res = (*results)[static_cast<size_t>(r)];
+      if (res.killed) continue;
+      const std::string f = res.failure.validate();
+      if (!f.empty()) return "failure stats rank " + std::to_string(r) + ": " + f;
+      const std::string s = res.steal.validate();
+      if (!s.empty()) return "steal stats rank " + std::to_string(r) + ": " + s;
+      const std::string c = res.sched.validate();
+      if (!c.empty()) return "sched stats rank " + std::to_string(r) + ": " + c;
+    }
+    std::vector<double> out(reference_.size());
+    r_ga_->get(0, r_ga_->size(), out.data());
+    for (size_t i = 0; i < out.size(); ++i) {
+      if (std::fabs(out[i] - reference_[i]) >= 1e-12) {
+        return "element " + std::to_string(i) + " off by " +
+               std::to_string(out[i] - reference_[i]);
+      }
+    }
+    return "";
+  }
+
+  /// Sum of undelivered out-of-order dedup entries across every rank's
+  /// mailbox. The reset's rebase_windows() must keep this bounded per
+  /// submission instead of letting it grow with the whole stream.
+  size_t total_window_backlog() const {
+    size_t total = 0;
+    for (int r = 0; r < kRanks; ++r) {
+      total += cluster_->mailbox(r).window_backlog();
+    }
+    return total;
+  }
+
+  vc::Cluster& cluster() { return *cluster_; }
+  PtgSession& session() { return *session_; }
+  const std::vector<double>& reference() const { return reference_; }
+
+ private:
+  static void fill_random(ga::GlobalArray& g, Rng& rng) {
+    std::vector<double> data(static_cast<size_t>(g.size()));
+    for (auto& x : data) x = rng.uniform(-1.0, 1.0);
+    g.put(0, g.size(), data.data());
+  }
+
+  std::unique_ptr<TileSpace> space_;
+  std::unique_ptr<BlockTensor4> v_shape_, t_shape_, r_shape_;
+  ChainPlan plan_;
+  std::unique_ptr<vc::Cluster> cluster_;
+  std::unique_ptr<ga::GlobalArray> v_ga_, t_ga_, r_ga_;
+  T2_7Storage storage_;
+  std::vector<double> reference_;
+  TemplateCache cache_;
+  std::shared_ptr<PtgTemplate> tpl_;
+  std::unique_ptr<PtgSession> session_;
+};
+
+// --- dup + reorder: lossless faults, every submission must be exact ---
+
+TEST(ResubmitStress, DupReorderFaultsAcrossSubmissions) {
+  vc::FabricConfig cfg;
+  cfg.faults.dup_prob = 0.25;
+  cfg.faults.reorder_jitter_us = 300.0;
+  cfg.fault_seed = 71;
+  SessionHarness h(cfg);
+
+  size_t first_backlog = 0;
+  for (int s = 0; s < 6; ++s) {
+    EXPECT_EQ(h.submit_once(), "") << "submission " << s;
+    // The dedup windows legitimately hold one submission's out-of-order
+    // tail (messages still in the delayed-delivery queue at the closing
+    // barrier). Six submissions' worth accumulating is what the
+    // between-run rebase exists to prevent.
+    const size_t backlog = h.total_window_backlog();
+    if (s == 0) first_backlog = backlog;
+    EXPECT_LE(backlog, 2 * first_backlog + 256) << "submission " << s;
+  }
+  EXPECT_EQ(h.session().submissions(), 6u);
+  EXPECT_EQ(h.cluster().fabric().stats().validate(), "");
+  // The reset before the last submission must have reclaimed everything
+  // the faults left behind.
+  for (int r = 0; r < kRanks; ++r) {
+    const auto& rep = h.session().context(r).last_reset_report();
+    EXPECT_EQ(rep.pending_deposits, 0u) << "rank " << r;
+    EXPECT_EQ(rep.held_ready, 0u) << "rank " << r;
+    EXPECT_EQ(rep.outstanding_migrations, 0u) << "rank " << r;
+    EXPECT_EQ(rep.outbox_messages, 0u) << "rank " << r;
+  }
+}
+
+// --- drops: each submission completes exactly or unwinds cleanly ---
+
+TEST(ResubmitStress, DropFaultsNeverHangAndSessionStaysUsable) {
+  // A silently dropped activation is unrecoverable by design (lineage
+  // replay fires on deaths, not message loss), so a watchdog StateError is
+  // an acceptable per-submission outcome; a hang, a wrong result, or a
+  // submission poisoned by its predecessor's abort is not.
+  vc::FabricConfig cfg;
+  cfg.faults.drop_prob = 0.02;
+  cfg.faults.dup_prob = 0.1;
+  cfg.faults.reorder_jitter_us = 200.0;
+  cfg.fault_seed = 83;
+  // Short watchdog (scaled by outstanding work internally): a drop-stalled
+  // submission must abort in seconds, not wedge the stream.
+  SessionHarness h(cfg, /*failure_detection=*/true, /*watchdog_ms=*/150.0);
+
+  for (int s = 0; s < 4; ++s) {
+    const std::string out = h.submit_once();
+    if (!out.empty()) {
+      EXPECT_TRUE(out.find("watchdog") != std::string::npos ||
+                  out.find("aborted") != std::string::npos ||
+                  out.find("confirmed dead") != std::string::npos)
+          << "submission " << s << ": unexpected failure: " << out;
+    }
+  }
+  EXPECT_EQ(h.session().submissions(), 4u)
+      << "an aborted submission must not wedge the session";
+  EXPECT_EQ(h.cluster().fabric().stats().validate(), "");
+}
+
+// --- partition: a deterministic mid-stream abort, then full recovery ---
+
+TEST(ResubmitStress, PartitionAbortsOneSubmissionSessionRecoversAfterHeal) {
+  vc::FabricConfig cfg;
+  SessionHarness h(cfg, /*failure_detection=*/false, /*watchdog_ms=*/400.0);
+
+  EXPECT_EQ(h.submit_once(), "") << "clean fabric must be exact";
+
+  // Swallow every 0->1 message: rank 1 starves for activations and the
+  // watchdog must abort the submission collectively.
+  h.cluster().fabric().partition(0, 1);
+  const std::string err = h.submit_once();
+  ASSERT_NE(err, "") << "partitioned submission must not appear to succeed";
+  EXPECT_TRUE(err.find("watchdog") != std::string::npos ||
+              err.find("aborted") != std::string::npos)
+      << "unexpected failure: " << err;
+
+  // Heal and resubmit: the reset must have drained the aborted run's
+  // leftovers, so the same session produces the exact result again.
+  h.cluster().fabric().heal(0, 1);
+  EXPECT_EQ(h.submit_once(), "") << "healed fabric must be exact again";
+  EXPECT_EQ(h.submit_once(), "") << "and stay exact";
+  EXPECT_EQ(h.session().submissions(), 4u);
+}
+
+// --- a CrashPlan fires inside the first submission of the stream ---
+
+TEST(ResubmitStress, CrashMidSubmissionRecoversAndStreamContinues) {
+  constexpr int kVictim = 1;
+  vc::FabricConfig cfg;
+  cfg.crash_plans.push_back({kVictim, /*after_messages=*/60});
+  SessionHarness h(cfg, /*failure_detection=*/true);
+
+  // Submission 0: the kill fires mid-run; recovery must still deliver the
+  // exact result, and the victim's slot must report killed.
+  EXPECT_EQ(h.submit_once(), "") << "recovered submission must be exact";
+  EXPECT_TRUE(h.session().rank_killed(kVictim));
+
+  // The stream continues on the survivors: each later submission
+  // re-detects the silent rank and re-recovers its statically-homed work.
+  for (int s = 1; s < 3; ++s) {
+    EXPECT_EQ(h.submit_once(), "") << "submission " << s;
+    EXPECT_TRUE(h.session().rank_killed(kVictim)) << "submission " << s;
+  }
+  EXPECT_EQ(h.session().submissions(), 3u);
+}
+
+// --- kill between submissions, then revive the rank mid-stream ---
+
+TEST(ResubmitStress, MidStreamKillThenReviveKeepsStreamExact) {
+  constexpr int kVictim = 2;
+  vc::FabricConfig cfg;
+  SessionHarness h(cfg, /*failure_detection=*/true);
+
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_EQ(h.submit_once(), "") << "pre-kill submission " << s;
+  }
+  EXPECT_FALSE(h.session().rank_killed(kVictim));
+
+  // Fail-stop the rank between submissions: its parked runtime notices on
+  // the next arm, goes silent, and the survivors recover its work.
+  h.cluster().kill_rank(kVictim);
+  for (int s = 2; s < 4; ++s) {
+    EXPECT_EQ(h.submit_once(), "") << "post-kill submission " << s;
+    EXPECT_TRUE(h.session().rank_killed(kVictim)) << "submission " << s;
+  }
+
+  // Revive the rank (a new incarnation at the fabric level). A dropped-out
+  // runtime can never rejoin the cluster barrier, so the session keeps
+  // running on the survivors — revival must simply not corrupt anything.
+  h.cluster().revive_rank(kVictim);
+  for (int s = 4; s < 6; ++s) {
+    EXPECT_EQ(h.submit_once(), "") << "post-revive submission " << s;
+    EXPECT_TRUE(h.session().rank_killed(kVictim)) << "submission " << s;
+  }
+  EXPECT_EQ(h.session().submissions(), 6u);
+  EXPECT_EQ(h.cluster().fabric().stats().validate(), "");
+}
+
+}  // namespace
+}  // namespace mp::tce

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Sanity-check a committed benchmark baseline against the current HEAD.
+
+Benchmark baselines (BENCH_kernels.json, BENCH_resubmit.json) embed the
+git_sha of the commit that produced them. Comparing fresh numbers against a
+baseline whose commit is not an ancestor of HEAD — a divergent branch, a
+rebase that rewrote it away — silently measures against unrelated code.
+
+This check only ever WARNS (exit 0): perf baselines go stale for benign
+reasons (squash merges, shallow CI clones) and must not break the build.
+Exit 2 is reserved for misuse (missing/unparsable file).
+
+Usage: bench_baseline_check.py BENCH_kernels.json [more.json ...]
+"""
+import json
+import subprocess
+import sys
+
+
+def check(path: str) -> None:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_baseline_check: cannot read {path}: {e}")
+        sys.exit(2)
+
+    sha = doc.get("git_sha", "unknown")
+    schema = doc.get("schema", "?")
+    if not isinstance(sha, str) or len(sha) != 40:
+        print(f"WARNING: {path} ({schema}): baseline git_sha is '{sha}' — "
+              "regenerate the baseline to pin it to a real commit")
+        return
+
+    proc = subprocess.run(
+        ["git", "merge-base", "--is-ancestor", sha, "HEAD"],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode == 0:
+        print(f"{path}: baseline commit {sha[:12]} is an ancestor of HEAD")
+    elif proc.returncode == 1:
+        print(f"WARNING: {path} ({schema}): baseline commit {sha[:12]} is "
+              "NOT an ancestor of HEAD — the committed numbers come from a "
+              "divergent history; regenerate the baseline before comparing")
+    else:
+        # Unknown object (shallow clone, rewritten history): warn, don't fail.
+        print(f"WARNING: {path} ({schema}): cannot resolve baseline commit "
+              f"{sha[:12]} ({proc.stderr.strip()})")
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        sys.exit(2)
+    for path in sys.argv[1:]:
+        check(path)
+
+
+if __name__ == "__main__":
+    main()

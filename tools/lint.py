@@ -23,6 +23,14 @@ Checks, each with a stable rule id:
   include-count          At most MAX_INCLUDES includes per src/ file —
                          a growing include list marks a layering problem.
   using-namespace-std    `using namespace std;` is banned everywhere.
+  reset-stats-discipline The persistent-Context reset body
+                         (Context::reset_local_state in
+                         src/ptg/context.cpp) must snapshot + validate()
+                         every stats family (steal, failure, scheduler)
+                         BEFORE the first counter is zeroed: each
+                         release-ordered counter write must be paired
+                         with an acquire-ordered snapshot read, or a torn
+                         pair silently survives into the next submission.
 
 Exit status: 0 clean, 1 findings, 2 internal error.
 Usage: tools/lint.py [--tidy] [paths...]   (default: src/)
@@ -117,6 +125,9 @@ def lint_file(path, findings):
                  "raw `new std::vector<double>`; use make_buf/"
                  "make_buf_pooled (src/ptg/types.h)"))
 
+    if str(rel) == "src/ptg/context.cpp":
+        lint_reset_stats(path, rel, text, code, findings)
+
     if in_src:
         for m in BODY_RE.finditer(code):
             lo, hi = lambda_span(code, m.end() - 1)
@@ -149,6 +160,52 @@ def lint_file(path, findings):
                      "iostream-in-header",
                      "<iostream> in a src/ header; use <cstdio> or "
                      "support/log.h in the .cpp"))
+
+
+RESET_FN_RE = re.compile(r"void\s+Context::reset_local_state\s*\([^)]*\)\s*\{")
+RESET_SNAPSHOTS = ("steal_stats()", "failure_stats()", "sched_->stats()")
+
+
+def lint_reset_stats(path, rel, text, code, findings):
+    """reset-stats-discipline: the persistent-Context reset body must read
+    (acquire) and validate() every stats counter family before it zeroes
+    (release) the first counter — see src/ptg/context.h's counter-pair
+    discipline. Anchored on Context::reset_local_state; if that function
+    disappears the rule reports, so a rename cannot silently retire it."""
+    m = RESET_FN_RE.search(code)
+    if not m:
+        findings.append(
+            (rel, 1, "reset-stats-discipline",
+             "Context::reset_local_state not found; the reset-path stats "
+             "discipline cannot be checked (update tools/lint.py if the "
+             "reset body moved)"))
+        return
+    lo, hi = lambda_span(code, m.end() - 1)
+    body = code[lo:hi]
+    first_zero = body.find(".store(0")
+    if first_zero < 0:
+        findings.append(
+            (rel, line_of(text, lo), "reset-stats-discipline",
+             "reset body zeroes no counters; the between-runs reset must "
+             "re-arm the atomic counters (or this rule needs updating)"))
+        return
+    for snap in RESET_SNAPSHOTS:
+        pos = body.find(snap)
+        if pos < 0 or pos > first_zero:
+            where = "missing" if pos < 0 else "after the first `.store(0`"
+            findings.append(
+                (rel, line_of(text, lo + (pos if pos >= 0 else 0)),
+                 "reset-stats-discipline",
+                 f"stats snapshot `{snap}` {where}: every counter family "
+                 "must be snapshotted (acquire) and validated before any "
+                 "counter is zeroed (release)"))
+    n_validate = body.count(".validate()", 0, first_zero)
+    if n_validate < len(RESET_SNAPSHOTS):
+        findings.append(
+            (rel, line_of(text, lo), "reset-stats-discipline",
+             f"only {n_validate} .validate() call(s) before the first "
+             f"`.store(0` (need {len(RESET_SNAPSHOTS)}: steal, failure, "
+             "scheduler)"))
 
 
 def run_tidy():
