@@ -7,6 +7,8 @@
 //   MPP0xx — ChainPlan structural invariants (analysis/plan_verify.h)
 //   MPT0xx — TCE variant/graph cross-checks (analysis/tce_verify.h)
 //   MPA0xx — dynamic lifecycle findings (support/analysis.h)
+//   MPS0xx — distributed-protocol violations found by the mp-explore
+//            model checker (analysis/explore.h, DESIGN.md §12)
 #pragma once
 
 #include <sstream>

@@ -1,0 +1,590 @@
+// The mp-explore exploration engine (DESIGN.md §12): exhaustive DFS with
+// sleep-set partial-order reduction over the protocol model in
+// explore_model.h, plus a seeded random-walk fallback, strict schedule
+// replay and greedy trace minimization.
+//
+// The search is stateless in the Mazurkiewicz sense: the World is mutated
+// in place while descending, and backtracking re-executes the remaining
+// path prefix from the initial state — the model is cheap enough that
+// re-execution beats snapshotting the real fabric/mailbox objects, which
+// are deliberately not copyable.
+#include "analysis/explore.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "analysis/explore_model.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace mp::analysis {
+
+namespace {
+
+bool is_message_choice(ChoiceKind k) {
+  return k == ChoiceKind::kDeliver || k == ChoiceKind::kDrop ||
+         k == ChoiceKind::kDuplicate;
+}
+
+/// Independence relation for the sleep sets, evaluated in the state where
+/// both choices are co-enabled. Two fates of the SAME wire message always
+/// conflict; otherwise disjoint rank footprints commute.
+bool independent(const World& w, const Choice& x, const Choice& y) {
+  if (is_message_choice(x.kind) && is_message_choice(y.kind) && x.a == y.a &&
+      x.b == y.b && x.tag == y.tag && x.seq == y.seq) {
+    return false;
+  }
+  return (w.footprint(x) & w.footprint(y)) == 0;
+}
+
+struct PathStep {
+  Choice c;
+  StepInfo info;
+};
+
+/// True when the path segment [from, end) is a chatter cycle that defeats
+/// the watchdog: at least one message was delivered, none of it moved work
+/// (per the canonical ptg::protocol rules), yet the node-side (possibly
+/// mutated) progress rule reset the deadline at least once. Under the
+/// correct rule the two flags coincide and the condition is unsatisfiable.
+bool livelock_cycle(const std::vector<PathStep>& path, size_t from) {
+  bool delivered = false;
+  bool canon = false;
+  bool node_reset = false;
+  for (size_t i = from; i < path.size(); ++i) {
+    delivered = delivered || path[i].info.delivered;
+    canon = canon || path[i].info.canon_progress;
+    node_reset = node_reset || path[i].info.node_wd_reset;
+  }
+  return delivered && !canon && node_reset;
+}
+
+// -------------------------------------------------------------------------
+// Exhaustive DFS with sleep sets
+
+class Dfs {
+ public:
+  explicit Dfs(const ExploreConfig& cfg) : cfg_(cfg) {}
+
+  ExploreResult run() {
+    world_ = std::make_unique<World>(cfg_);
+    const uint64_t root_fp = world_->fingerprint();
+    visited_[root_fp].push_back({});
+    on_path_[root_fp] = 0;
+    stack_.push_back(Frame{world_->enabled(), 0, {}, root_fp});
+    stats_.states = 1;
+
+    while (!stack_.empty() && !stop_) {
+      if (cfg_.max_transitions != 0 &&
+          stats_.transitions >= cfg_.max_transitions) {
+        budget_hit_ = true;
+        break;
+      }
+      Frame& f = stack_.back();
+      // Next sibling not silenced by the sleep set.
+      size_t pick = f.next;
+      while (pick < f.choices.size() && f.sleep.count(f.choices[pick])) {
+        ++stats_.sleep_pruned;
+        ++pick;
+      }
+      f.next = pick + 1;
+      if (pick >= f.choices.size()) {
+        backtrack();
+        continue;
+      }
+      descend(f.choices[pick]);
+    }
+
+    ExploreResult res;
+    res.findings = std::move(findings_);
+    res.stats = stats_;
+    res.complete = !stop_ && !budget_hit_ && stats_.truncated == 0;
+    return res;
+  }
+
+ private:
+  struct Frame {
+    std::vector<Choice> choices;
+    size_t next = 0;
+    std::set<Choice> sleep;
+    uint64_t fp = 0;
+  };
+
+  void descend(const Choice& c) {
+    // Child sleep set: inherited entries that commute with the step.
+    std::set<Choice> child_sleep;
+    for (const Choice& s : stack_.back().sleep) {
+      if (independent(*world_, s, c)) child_sleep.insert(s);
+    }
+    const size_t findings_before = world_->findings().size();
+    const StepInfo info = world_->apply(c);
+    ++stats_.transitions;
+    path_.push_back({c, info});
+
+    if (world_->findings().size() > findings_before) {
+      record_finding(findings_before);
+      return;
+    }
+    if (static_cast<int>(path_.size()) >= cfg_.max_steps ||
+        world_->messages_sent() >= cfg_.max_messages) {
+      ++stats_.truncated;
+      if (std::getenv("MP_EXPLORE_DEBUG_TRUNC") != nullptr) {
+        std::fprintf(stderr, "TRUNC depth=%zu msgs=%llu\n", path_.size(),
+                     static_cast<unsigned long long>(world_->messages_sent()));
+        for (size_t i = 0; i < path_.size(); ++i) {
+          std::fprintf(stderr, "  %zu: %s\n", i, path_[i].c.str().c_str());
+        }
+      }
+      retreat(c);
+      return;
+    }
+    const uint64_t fp = world_->fingerprint();
+    auto cyc = on_path_.find(fp);
+    if (cyc != on_path_.end()) {
+      // Back to a state already on this path: a cycle. Either it is the
+      // livelock the watchdog cannot break (MPS006) or benign chatter the
+      // real watchdog deadline would eventually interrupt.
+      if (livelock_cycle(path_, static_cast<size_t>(cyc->second))) {
+        world_->report_livelock(
+            static_cast<int>(path_.size() - static_cast<size_t>(cyc->second)));
+        record_finding(findings_before);
+      } else {
+        ++stats_.cycles;
+        retreat(c);
+      }
+      return;
+    }
+    auto vis = visited_.find(fp);
+    if (vis != visited_.end()) {
+      // Sound pruning rule for sleep sets + state cache: skip only when a
+      // previous visit explored with a sleep set no larger than ours (it
+      // covered a superset of our outgoing transitions).
+      for (const std::set<Choice>& prev : vis->second) {
+        if (std::includes(child_sleep.begin(), child_sleep.end(),
+                          prev.begin(), prev.end())) {
+          ++stats_.cache_pruned;
+          retreat(c);
+          return;
+        }
+      }
+    }
+    visited_[fp].push_back(child_sleep);
+
+    std::vector<Choice> enabled = world_->enabled();
+    if (enabled.empty()) {
+      if (world_->all_done()) {
+        // Clean terminal: invariants were already checked at declaration.
+      } else if (world_->disturbed()) {
+        // Stalled by an injected fault: production's watchdog fires here
+        // and aborts the submission — diagnosed, not a protocol bug.
+        ++stats_.diagnosed;
+      } else {
+        world_->report_deadlock();
+        record_finding(findings_before);
+        return;
+      }
+      retreat(c);
+      return;
+    }
+    on_path_[fp] = static_cast<int>(stack_.size());
+    stack_.push_back(Frame{std::move(enabled), 0, std::move(child_sleep), fp});
+    ++stats_.states;
+    stats_.max_depth =
+        std::max(stats_.max_depth, static_cast<int>(path_.size()));
+  }
+
+  /// Undo a step whose child state is not kept (pruned / truncated /
+  /// terminal): rebuild the world at the current top frame and silence the
+  /// explored choice for the remaining siblings.
+  void retreat(const Choice& c) {
+    path_.pop_back();
+    rebuild();
+    stack_.back().sleep.insert(c);
+  }
+
+  void backtrack() {
+    const Frame done = std::move(stack_.back());
+    stack_.pop_back();
+    on_path_.erase(done.fp);
+    if (stack_.empty()) return;
+    const Choice c = path_.back().c;
+    path_.pop_back();
+    rebuild();
+    stack_.back().sleep.insert(c);
+  }
+
+  void rebuild() {
+    world_ = std::make_unique<World>(cfg_);
+    for (const PathStep& s : path_) {
+      world_->apply(s.c);
+      ++stats_.transitions;
+    }
+  }
+
+  void record_finding(size_t findings_before) {
+    ExploreFinding f;
+    f.diag = world_->findings()[findings_before];
+    f.schedule.config = cfg_;
+    for (const PathStep& s : path_) f.schedule.steps.push_back(s.c);
+    findings_.push_back(std::move(f));
+    stop_ = true;
+  }
+
+  ExploreConfig cfg_;
+  std::unique_ptr<World> world_;
+  std::vector<Frame> stack_;
+  std::vector<PathStep> path_;
+  std::map<uint64_t, std::vector<std::set<Choice>>> visited_;
+  std::map<uint64_t, int> on_path_;
+  ExploreStats stats_;
+  std::vector<ExploreFinding> findings_;
+  bool stop_ = false;
+  bool budget_hit_ = false;
+};
+
+}  // namespace
+
+ExploreResult explore_exhaustive(const ExploreConfig& cfg) {
+  return Dfs(cfg).run();
+}
+
+// -------------------------------------------------------------------------
+// Random walk
+
+ExploreResult explore_random_walk(const ExploreConfig& cfg, uint64_t walks,
+                                  uint64_t seed) {
+  ExploreResult res;
+  Rng rng(seed);
+  for (uint64_t w = 0; w < walks && res.findings.empty(); ++w) {
+    World world(cfg);
+    std::vector<PathStep> path;
+    std::map<uint64_t, int> on_path;
+    on_path[world.fingerprint()] = 0;
+    ++res.stats.states;
+    while (true) {
+      const std::vector<Choice> enabled = world.enabled();
+      if (enabled.empty()) {
+        if (world.all_done()) {
+          // clean walk
+        } else if (world.disturbed()) {
+          ++res.stats.diagnosed;
+        } else {
+          world.report_deadlock();
+        }
+        break;
+      }
+      if (static_cast<int>(path.size()) >= cfg.max_steps ||
+          world.messages_sent() >= cfg.max_messages) {
+        ++res.stats.truncated;
+        break;
+      }
+      const Choice c = enabled[rng.next_below(enabled.size())];
+      const StepInfo info = world.apply(c);
+      ++res.stats.transitions;
+      path.push_back({c, info});
+      if (!world.findings().empty()) break;
+      const uint64_t fp = world.fingerprint();
+      auto cyc = on_path.find(fp);
+      if (cyc != on_path.end()) {
+        if (livelock_cycle(path, static_cast<size_t>(cyc->second))) {
+          world.report_livelock(
+              static_cast<int>(path.size() - static_cast<size_t>(cyc->second)));
+        } else {
+          ++res.stats.cycles;
+        }
+        break;  // a repeated state ends the walk either way
+      }
+      on_path[fp] = static_cast<int>(path.size());
+      ++res.stats.states;
+      res.stats.max_depth =
+          std::max(res.stats.max_depth, static_cast<int>(path.size()));
+    }
+    if (!world.findings().empty()) {
+      ExploreFinding f;
+      f.diag = world.findings().front();
+      f.schedule.config = cfg;
+      for (const PathStep& s : path) f.schedule.steps.push_back(s.c);
+      res.findings.push_back(std::move(f));
+    }
+  }
+  res.complete = false;  // sampling never proves absence
+  return res;
+}
+
+// -------------------------------------------------------------------------
+// Replay and minimization
+
+ReplayResult replay_schedule(const Schedule& schedule) {
+  ReplayResult res;
+  World world(schedule.config);
+  std::vector<PathStep> path;
+  std::map<uint64_t, int> on_path;
+  on_path[world.fingerprint()] = 0;
+  for (size_t i = 0; i < schedule.steps.size(); ++i) {
+    const Choice& c = schedule.steps[i];
+    const std::vector<Choice> enabled = world.enabled();
+    bool legal = false;
+    for (const Choice& e : enabled) {
+      if (e == c) legal = true;
+    }
+    if (!legal) {
+      res.ok = false;
+      res.error = "step " + std::to_string(i + 1) + " (" + c.str() +
+                  ") is not enabled at replay";
+      res.findings = world.findings();
+      return res;
+    }
+    const StepInfo info = world.apply(c);
+    path.push_back({c, info});
+    const uint64_t fp = world.fingerprint();
+    auto cyc = on_path.find(fp);
+    if (cyc != on_path.end()) {
+      if (livelock_cycle(path, static_cast<size_t>(cyc->second))) {
+        world.report_livelock(
+            static_cast<int>(path.size() - static_cast<size_t>(cyc->second)));
+      }
+    } else {
+      on_path[fp] = static_cast<int>(path.size());
+    }
+  }
+  if (world.enabled().empty() && !world.all_done() && !world.disturbed()) {
+    world.report_deadlock();
+  }
+  res.ok = true;
+  res.findings = world.findings();
+  res.fingerprint = world.fingerprint();
+  return res;
+}
+
+Schedule minimize_schedule(const Schedule& schedule, const std::string& code) {
+  Schedule cur = schedule;
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (size_t i = 0; i < cur.steps.size(); ++i) {
+      Schedule cand = cur;
+      cand.steps.erase(cand.steps.begin() + static_cast<long>(i));
+      const ReplayResult rr = replay_schedule(cand);
+      if (rr.ok && has_code(rr.findings, code)) {
+        cur = std::move(cand);
+        improved = true;
+        break;
+      }
+    }
+  }
+  return cur;
+}
+
+uint64_t explore_walk_budget(uint64_t fallback) {
+  const char* env = std::getenv("MP_EXPLORE_BUDGET");
+  if (env == nullptr || *env == '\0') return fallback;
+  const unsigned long long v = std::strtoull(env, nullptr, 10);
+  if (v < 1) return 1;
+  if (v > 1000000ULL) return 1000000ULL;
+  return v;
+}
+
+// -------------------------------------------------------------------------
+// Trace format
+
+std::string Choice::str() const {
+  std::ostringstream os;
+  switch (kind) {
+    case ChoiceKind::kDeliver:
+      os << "deliver " << a << ' ' << b << ' ' << tag << ' ' << seq;
+      break;
+    case ChoiceKind::kDrop:
+      os << "drop " << a << ' ' << b << ' ' << tag << ' ' << seq;
+      break;
+    case ChoiceKind::kDuplicate:
+      os << "dup " << a << ' ' << b << ' ' << tag << ' ' << seq;
+      break;
+    case ChoiceKind::kExecute:
+      os << "exec " << a << ' ' << b;
+      break;
+    case ChoiceKind::kStealTick:
+      os << "steal " << a;
+      break;
+    case ChoiceKind::kStealTimeout:
+      os << "stimeout " << a;
+      break;
+    case ChoiceKind::kResendTick:
+      os << "resend " << a;
+      break;
+    case ChoiceKind::kHeartbeatTick:
+      os << "beat " << a;
+      break;
+    case ChoiceKind::kConfirmDeath:
+      os << "confirm " << a << ' ' << b;
+      break;
+    case ChoiceKind::kCrash:
+      os << "crash " << a;
+      break;
+    case ChoiceKind::kReset:
+      os << "reset";
+      break;
+  }
+  return os.str();
+}
+
+std::optional<Choice> Choice::parse(const std::string& line) {
+  std::istringstream is(line);
+  std::string verb;
+  if (!(is >> verb)) return std::nullopt;
+  Choice c;
+  auto msg = [&](ChoiceKind k) -> std::optional<Choice> {
+    c.kind = k;
+    if (!(is >> c.a >> c.b >> c.tag >> c.seq)) return std::nullopt;
+    return c;
+  };
+  auto one = [&](ChoiceKind k) -> std::optional<Choice> {
+    c.kind = k;
+    if (!(is >> c.a)) return std::nullopt;
+    return c;
+  };
+  auto two = [&](ChoiceKind k) -> std::optional<Choice> {
+    c.kind = k;
+    if (!(is >> c.a >> c.b)) return std::nullopt;
+    return c;
+  };
+  if (verb == "deliver") return msg(ChoiceKind::kDeliver);
+  if (verb == "drop") return msg(ChoiceKind::kDrop);
+  if (verb == "dup") return msg(ChoiceKind::kDuplicate);
+  if (verb == "exec") return two(ChoiceKind::kExecute);
+  if (verb == "steal") return one(ChoiceKind::kStealTick);
+  if (verb == "stimeout") return one(ChoiceKind::kStealTimeout);
+  if (verb == "resend") return one(ChoiceKind::kResendTick);
+  if (verb == "beat") return one(ChoiceKind::kHeartbeatTick);
+  if (verb == "confirm") return two(ChoiceKind::kConfirmDeath);
+  if (verb == "crash") return one(ChoiceKind::kCrash);
+  if (verb == "reset") {
+    c.kind = ChoiceKind::kReset;
+    return c;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+std::string mutations_to_string(const ExploreMutations& m) {
+  std::string s;
+  auto add = [&](const char* name) {
+    if (!s.empty()) s += ',';
+    s += name;
+  };
+  if (m.skip_watchdog_progress_rule) add("skip_watchdog_progress_rule");
+  if (m.skip_recovery_zero_reset) add("skip_recovery_zero_reset");
+  if (m.skip_seqwindow_rebase) add("skip_seqwindow_rebase");
+  return s.empty() ? "none" : s;
+}
+
+ExploreMutations mutations_from_string(const std::string& s) {
+  ExploreMutations m;
+  if (s == "none") return m;
+  std::istringstream is(s);
+  std::string flag;
+  while (std::getline(is, flag, ',')) {
+    if (flag == "skip_watchdog_progress_rule") {
+      m.skip_watchdog_progress_rule = true;
+    } else if (flag == "skip_recovery_zero_reset") {
+      m.skip_recovery_zero_reset = true;
+    } else if (flag == "skip_seqwindow_rebase") {
+      m.skip_seqwindow_rebase = true;
+    } else {
+      throw InvalidArgument("schedule: unknown mutation '" + flag + "'");
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+std::string Schedule::to_text() const {
+  std::ostringstream os;
+  os << "# mp-explore schedule v1\n";
+  os << "workload " << config.workload << '\n';
+  os << "nranks " << config.nranks << '\n';
+  os << "stealing " << (config.stealing ? 1 : 0) << '\n';
+  os << "heartbeats " << (config.heartbeats ? 1 : 0) << '\n';
+  os << "crash_victim " << config.crash_victim << '\n';
+  os << "submissions " << config.submissions << '\n';
+  os << "drop_budget " << config.drop_budget << '\n';
+  os << "dup_budget " << config.dup_budget << '\n';
+  os << "max_steps " << config.max_steps << '\n';
+  os << "max_messages " << config.max_messages << '\n';
+  os << "mutations " << mutations_to_string(config.mutations) << '\n';
+  os << "steps:\n";
+  for (const Choice& c : steps) os << c.str() << '\n';
+  return os.str();
+}
+
+Schedule Schedule::from_text(const std::string& text) {
+  Schedule s;
+  std::istringstream is(text);
+  std::string line;
+  bool in_steps = false;
+  bool versioned = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line.find("mp-explore schedule v1") != std::string::npos) {
+        versioned = true;
+      }
+      continue;
+    }
+    if (!in_steps) {
+      if (line == "steps:") {
+        in_steps = true;
+        continue;
+      }
+      std::istringstream ls(line);
+      std::string key, value;
+      if (!(ls >> key >> value)) {
+        throw InvalidArgument("schedule: malformed header line '" + line +
+                              "'");
+      }
+      if (key == "workload") {
+        s.config.workload = value;
+      } else if (key == "nranks") {
+        s.config.nranks = std::stoi(value);
+      } else if (key == "stealing") {
+        s.config.stealing = value != "0";
+      } else if (key == "heartbeats") {
+        s.config.heartbeats = value != "0";
+      } else if (key == "crash_victim") {
+        s.config.crash_victim = std::stoi(value);
+      } else if (key == "submissions") {
+        s.config.submissions = std::stoi(value);
+      } else if (key == "drop_budget") {
+        s.config.drop_budget = std::stoi(value);
+      } else if (key == "dup_budget") {
+        s.config.dup_budget = std::stoi(value);
+      } else if (key == "max_steps") {
+        s.config.max_steps = std::stoi(value);
+      } else if (key == "max_messages") {
+        s.config.max_messages = std::stoull(value);
+      } else if (key == "mutations") {
+        s.config.mutations = mutations_from_string(value);
+      } else {
+        throw InvalidArgument("schedule: unknown header key '" + key + "'");
+      }
+      continue;
+    }
+    std::optional<Choice> c = Choice::parse(line);
+    if (!c.has_value()) {
+      throw InvalidArgument("schedule: malformed step '" + line + "'");
+    }
+    s.steps.push_back(*c);
+  }
+  MP_REQUIRE(versioned,
+             "schedule: missing '# mp-explore schedule v1' header");
+  MP_REQUIRE(in_steps, "schedule: missing 'steps:' section");
+  return s;
+}
+
+}  // namespace mp::analysis

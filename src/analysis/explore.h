@@ -1,0 +1,204 @@
+// mp-explore: systematic model checking of the distributed runtime
+// protocols (DESIGN.md §12).
+//
+// The explorer runs a single-threaded *model* of the PTG runtime's
+// distributed protocols — termination detection, work stealing, failure
+// recovery, persistent-runtime reset — over the REAL virtual-cluster
+// transport: a vc::Fabric in controlled-scheduler mode feeding real
+// vc::Mailbox exactly-once windows (vc::SeqWindow). Every message delivery,
+// drop, duplication, task execution, steal tick, crash, death confirmation
+// and reset epoch transition is an explicit Choice; the engine enumerates
+// interleavings of small configurations exhaustively with sleep-set
+// (DPOR-style) partial-order reduction, or samples them with a seeded
+// random walk. Protocol invariants are checked at every step and terminal
+// state and reported as the MPS0xx diagnostic family
+// (analysis/diagnostics.h); every finding carries a replayable Schedule
+// that reproduces it deterministically.
+//
+// The decision rules the model shares with the production comm thread —
+// watchdog progress, failure re-homing — live in ptg/protocol.h so the
+// checker verifies the protocol the runtime actually runs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+
+namespace mp::analysis {
+
+// ---------------------------------------------------------------------------
+// Choice points
+
+/// Every scheduling decision of the model, one enumerator per kind of
+/// nondeterminism. Messages are identified by wire identity
+/// (src, dst, tag, seq), never by queue position, so a Choice names the
+/// same event in any interleaving.
+enum class ChoiceKind : int {
+  kDeliver = 0,    ///< deliver parked message (a=src, b=dst, tag, seq)
+  kDrop,           ///< drop parked message (explicit fault, budget-gated)
+  kDuplicate,      ///< duplicate parked message (budget-gated)
+  kExecute,        ///< run one ready task (a=rank, b=task id)
+  kStealTick,      ///< idle rank a fires its steal agent
+  kStealTimeout,   ///< rank a gives up on its outstanding steal request
+  kResendTick,     ///< rank a re-sends its LOCAL_DONE report
+  kHeartbeatTick,  ///< rank a emits one failure-detector beat
+  kConfirmDeath,   ///< rank a confirms the death of rank b
+  kCrash,          ///< rank a fail-stops
+  kReset,          ///< persistent-runtime reset into the next submission
+};
+
+struct Choice {
+  ChoiceKind kind = ChoiceKind::kDeliver;
+  int a = -1;        ///< rank operand (src / actor / victim)
+  int b = -1;        ///< second operand (dst rank / task id / dead rank)
+  int tag = 0;       ///< wire tag (message choices only)
+  uint64_t seq = 0;  ///< wire sequence (message choices only)
+
+  bool operator==(const Choice& o) const {
+    return kind == o.kind && a == o.a && b == o.b && tag == o.tag &&
+           seq == o.seq;
+  }
+  bool operator<(const Choice& o) const {
+    if (kind != o.kind) return kind < o.kind;
+    if (a != o.a) return a < o.a;
+    if (b != o.b) return b < o.b;
+    if (tag != o.tag) return tag < o.tag;
+    return seq < o.seq;
+  }
+
+  /// One-line trace form, e.g. "deliver 0 1 101 3" — see Schedule.
+  std::string str() const;
+  /// Inverse of str(). nullopt on malformed input.
+  static std::optional<Choice> parse(const std::string& line);
+};
+
+// ---------------------------------------------------------------------------
+// Configuration
+
+/// Seeded protocol mutations: each re-introduces one historical bug class
+/// (or a plausible near-miss) so tests can prove the checker distinguishes
+/// them by MPS code. A mutation changes the MODEL's protocol only — the
+/// production runtime is untouched.
+struct ExploreMutations {
+  /// Pre-PR6 watchdog: ANY received message resets the progress deadline
+  /// (instead of ptg::protocol::work_moving), so idle steal/heartbeat
+  /// chatter keeps a stalled job alive forever -> MPS006.
+  bool skip_watchdog_progress_rule = false;
+  /// Adoption skips the recovery group's on_adopt zero-reset, so partial
+  /// pre-crash accumulation double-counts after lineage replay -> MPS001.
+  bool skip_recovery_zero_reset = false;
+  /// reset skips Mailbox::rebase_windows(), so drop gaps leak dedup-window
+  /// backlog across submissions -> MPS005.
+  bool skip_seqwindow_rebase = false;
+
+  bool any() const {
+    return skip_watchdog_progress_rule || skip_recovery_zero_reset ||
+           skip_seqwindow_rebase;
+  }
+};
+
+struct ExploreConfig {
+  /// Micro workload: "t2_7" (pp-ladder) or "hh" (hh-ladder), inspected by
+  /// the real tce inspectors on a tiny tile space.
+  std::string workload = "t2_7";
+  int nranks = 2;
+  bool stealing = false;
+  bool heartbeats = false;
+  /// Rank that MAY fail-stop (a kCrash choice point at every state until
+  /// termination); -1 = no crash. Never 0: the coordinator's death aborts
+  /// the job in the production runtime and the model matches.
+  int crash_victim = -1;
+  /// Number of back-to-back submissions through the persistent runtime
+  /// (>1 exercises the reset protocol).
+  int submissions = 1;
+  /// How many kDrop / kDuplicate choices a single path may take.
+  int drop_budget = 0;
+  int dup_budget = 0;
+  /// Per-path bounds; a path hitting one is truncated (and counted).
+  int max_steps = 200;
+  uint64_t max_messages = 40;
+  /// Global transition budget for exhaust() (0 = unlimited).
+  uint64_t max_transitions = 0;
+  ExploreMutations mutations;
+};
+
+// ---------------------------------------------------------------------------
+// Schedules (replayable traces)
+
+/// A recorded interleaving: the full configuration plus the exact choice
+/// sequence. Serializes to a small text file ("mp-explore schedule v1")
+/// that tools/mp-explore and the gtest harness replay deterministically.
+struct Schedule {
+  ExploreConfig config;
+  std::vector<Choice> steps;
+
+  std::string to_text() const;
+  /// Throws InvalidArgument on malformed input.
+  static Schedule from_text(const std::string& text);
+};
+
+// ---------------------------------------------------------------------------
+// Results
+
+struct ExploreFinding {
+  Diag diag;
+  /// The interleaving that produced the finding (replayable, minimizable).
+  Schedule schedule;
+};
+
+struct ExploreStats {
+  uint64_t states = 0;        ///< distinct states visited
+  uint64_t transitions = 0;   ///< choices applied (incl. replays on backtrack)
+  uint64_t sleep_pruned = 0;  ///< choices skipped by the sleep set
+  uint64_t cache_pruned = 0;  ///< states cut by the visited-state cache
+  uint64_t cycles = 0;        ///< benign chatter cycles closed
+  uint64_t truncated = 0;     ///< paths cut by max_steps / max_messages
+  uint64_t diagnosed = 0;     ///< stalled-but-disturbed terminals (watchdog)
+  int max_depth = 0;
+};
+
+struct ExploreResult {
+  std::vector<ExploreFinding> findings;  ///< empty = protocol clean under config
+  ExploreStats stats;
+  /// True when the state space was fully explored (no truncation, no
+  /// transition-budget cut, no early stop on a finding).
+  bool complete = false;
+};
+
+struct ReplayResult {
+  bool ok = false;       ///< every step was enabled when replayed
+  std::string error;     ///< first illegal step, when !ok
+  std::vector<Diag> findings;
+  uint64_t fingerprint = 0;  ///< terminal state fingerprint (determinism)
+};
+
+// ---------------------------------------------------------------------------
+// Entry points
+
+/// Exhaustive DFS with sleep-set reduction. Stops at the first finding
+/// (whose schedule is the current path); a clean run reports stats with
+/// complete=true.
+ExploreResult explore_exhaustive(const ExploreConfig& cfg);
+
+/// Bounded random walks (`walks` paths, seeded) — the fallback for configs
+/// too large to exhaust. Stops at the first finding.
+ExploreResult explore_random_walk(const ExploreConfig& cfg, uint64_t walks,
+                                  uint64_t seed);
+
+/// Strictly re-execute a recorded schedule: every step must be enabled in
+/// sequence or the replay fails. Deterministic: the same schedule yields
+/// the same findings and fingerprint on every run.
+ReplayResult replay_schedule(const Schedule& schedule);
+
+/// Greedy schedule minimization: repeatedly drop single steps while the
+/// replay stays legal and still produces a finding with `code`.
+Schedule minimize_schedule(const Schedule& schedule, const std::string& code);
+
+/// Random-walk budget: MP_EXPLORE_BUDGET env var when set (clamped to
+/// [1, 1e6]), else `fallback`.
+uint64_t explore_walk_budget(uint64_t fallback);
+
+}  // namespace mp::analysis

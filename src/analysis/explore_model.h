@@ -1,0 +1,210 @@
+// The protocol model driven by the mp-explore engine (DESIGN.md §12).
+//
+// World holds one model rank ("Node") per rank of a virtual cluster and
+// wires them through a REAL vc::Fabric in controlled-scheduler mode and
+// REAL vc::Mailbox instances — the transport, wire sequencing and
+// exactly-once dedup windows under test are the production classes, not a
+// re-implementation. The Nodes themselves are a single-threaded mirror of
+// the comm-thread protocols in ptg/context.cpp at message granularity:
+// activations, steal request/reply/credit, LOCAL_DONE/JOB_DONE termination
+// with confirmed-death masks, adoption with recovery-group zero-reset and
+// lineage replay, and the persistent-runtime reset. Shared decision rules
+// (watchdog progress, failure re-homing) come from ptg/protocol.h.
+//
+// Deliberate abstractions, chosen so the state space stays finite and
+// choices commute where the engine assumes they do:
+//   - time is the choice sequence; watchdog/steal/heartbeat timers become
+//     explicit tick choices, and livelock is a cycle-detection oracle
+//     (MPS006) instead of a deadline;
+//   - task payloads are exactly-representable integers, so accumulation
+//     order never perturbs the serial reference;
+//   - accounting uses idempotent sets (task ids) rather than counters, so
+//     the model checks the protocol, not counter arithmetic;
+//   - the steal victim heuristic reads true ready-queue sizes (a
+//     performance hint in production, never a correctness input);
+//   - detector latency is abstracted: kConfirmDeath(r, d) is enabled from
+//     the moment d is dead, in any order across ranks, and false positives
+//     (confirming a live rank) are not modeled.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/explore.h"
+#include "vc/fabric.h"
+#include "vc/mailbox.h"
+#include "vc/seq_window.h"
+
+namespace mp::analysis {
+
+/// One task of the model workload (derived from a real inspected
+/// ChainPlan, see build_model_workload).
+struct ModelTask {
+  int id = 0;
+  int home = 0;            ///< static home rank (before failure re-homing)
+  int cell = -1;           ///< recovery group / output cell; -1 = none (chain)
+  double value = 0.0;      ///< exact integer accumulated into `cell`
+  bool migratable = false; ///< chains migrate; cell writers never do
+  std::vector<int> outs;   ///< consumer task ids activated on completion
+  int ndeps = 0;           ///< producer activations required before ready
+};
+
+struct ModelWorkload {
+  std::vector<ModelTask> tasks;
+  std::map<int, double> reference;  ///< cell -> exact serial sum
+  size_t num_chains = 0;
+};
+
+/// Build the micro workload for `kind` ("t2_7" or "hh") by running the
+/// real tce inspector on a tiny tile space and lowering each GEMM chain to
+/// a migratable CHAIN task feeding a non-migratable WRITE task homed on
+/// its output cell's owner (all writers of one cell share a home — the
+/// cell is the recovery group). Throws InvalidArgument on unknown kind.
+ModelWorkload build_model_workload(const std::string& kind, int nranks);
+
+/// What a single applied choice did — the engine's cycle/livelock oracle
+/// consumes these per-step flags.
+struct StepInfo {
+  bool delivered = false;     ///< the step delivered a message to a live node
+  bool canon_progress = false; ///< progress per ptg::protocol rules
+  bool node_wd_reset = false;  ///< the node's (possibly mutated) rule fired
+};
+
+class World {
+ public:
+  explicit World(const ExploreConfig& cfg);
+
+  /// All currently enabled choices, in a deterministic total order.
+  std::vector<Choice> enabled() const;
+
+  /// Apply one choice (must be enabled). Protocol violations discovered
+  /// while applying are appended to findings().
+  StepInfo apply(const Choice& c);
+
+  /// Conservative rank-footprint of a choice in the CURRENT state, for the
+  /// engine's independence relation: bit r set = the choice may read or
+  /// write rank r's protocol state. Bit 63 marks global effects (crash,
+  /// reset) that commute with nothing.
+  uint64_t footprint(const Choice& c) const;
+
+  /// Canonical state fingerprint. Wire sequence numbers are encoded
+  /// relative to each source's next-seq counter, so states that differ
+  /// only by the monotone seq drift of chatter loops hash equal — this is
+  /// what lets the engine close cycles.
+  uint64_t fingerprint() const;
+
+  /// The coordinator has declared the job done for the FINAL submission
+  /// and no message is still parked: a fully clean terminal.
+  bool all_done() const;
+  /// A drop or crash happened on this path (duplicates are not
+  /// disturbances: they cannot lose information). Stalled terminals with a
+  /// disturbance are the production watchdog's jurisdiction, not findings.
+  bool disturbed() const { return drops_used_ > 0 || crashed_; }
+
+  /// Total messages the fabric accepted (per-path bound).
+  uint64_t messages_sent() const { return fabric_->messages_sent(); }
+
+  const std::vector<Diag>& findings() const { return findings_; }
+  const ExploreConfig& config() const { return cfg_; }
+  const ModelWorkload& workload() const { return work_; }
+
+  /// Multi-line state dump (fingerprint components) for debugging the
+  /// explorer itself.
+  std::string debug_dump() const;
+
+  /// Append a deadlock finding (the engine classifies terminals; the model
+  /// owns the diagnostic format).
+  void report_deadlock();
+  /// Append a livelock finding for a detected chatter cycle (MPS006).
+  void report_livelock(int cycle_len);
+
+ private:
+  struct Deposit {
+    int producer = -1;
+    int consumer = -1;
+    int dst = -1;  ///< rank the deposit was last sent to (lineage replay)
+  };
+  struct Report {
+    uint64_t mask = 0;   ///< sender's confirmed-death mask
+    int count = 0;       ///< sender's accounted-task count
+    bool operator==(const Report& o) const {
+      return mask == o.mask && count == o.count;
+    }
+  };
+  struct Node {
+    bool alive = true;
+    bool job_done = false;
+    bool done_latch = false;  ///< LOCAL_DONE sent for the current state
+    bool steal_out = false;   ///< a steal request is outstanding
+    uint64_t confirmed = 0;   ///< confirmed-dead rank mask
+    std::set<int> owned;      ///< tasks this rank must account (grows on adopt)
+    std::set<int> accounted;  ///< owned tasks completed (exec or credit)
+    std::set<int> executed;   ///< tasks executed locally (any ownership)
+    std::set<int> ready;      ///< runnable task ids held here
+    std::map<int, std::set<int>> slots;  ///< task -> producer deposits seen
+    std::set<int> adopted_groups;        ///< recovery groups adopted here
+    std::map<int, int> migs;  ///< task -> thief (outstanding migrations)
+    std::set<int> stolen_in;  ///< held tasks that are migrated-in
+    std::vector<Deposit> log; ///< lineage log of deposits produced here
+    // Coordinator (rank 0) only:
+    std::map<int, Report> reports;
+    bool declared = false;
+  };
+
+  int nranks() const { return cfg_.nranks; }
+  bool live(int r) const { return nodes_[static_cast<size_t>(r)].alive; }
+  const ModelTask& task(int id) const {
+    return work_.tasks[static_cast<size_t>(id)];
+  }
+  /// Where task `t` lives under `mask` (ptg::protocol::retry_standin).
+  int effective_home(int t, uint64_t mask) const;
+
+  void init_submission();
+  void send(int src, int dst, int tag, vc::Payload payload);
+  /// Deliver parked message at `idx` and run the destination's protocol
+  /// handler; fills `info`.
+  void deliver(size_t idx, StepInfo& info);
+  void process_message(int dst, const vc::Message& m, StepInfo& info);
+  void promote(int r, int t);
+  void do_execute(int r, int t);
+  void do_steal_tick(int r);
+  void do_confirm_death(int r, int d);
+  void do_reset();
+  void deposit(int producer_rank, int producer, int consumer);
+  void maybe_local_done(int r);
+  void send_local_done(int r);
+  void termination_check();
+  void check_completion_invariants();
+  void add_finding(const std::string& code, const std::string& msg,
+                   const std::string& subject = "");
+  /// Locate a parked message by wire identity; SIZE_MAX when absent.
+  size_t find_pending(const Choice& c) const;
+  /// Any parked message matching (src, dst, tag), -1 = wildcard. Gates the
+  /// periodic tick choices: re-firing a timer while its previous message
+  /// is still in flight is behaviorally subsumed by kDuplicate, and
+  /// admitting it would make the interleaving space unbounded.
+  bool pending_msg(int src, int dst, int tag) const;
+
+  ExploreConfig cfg_;
+  ModelWorkload work_;
+  std::vector<vc::Mailbox> mailboxes_;
+  std::unique_ptr<vc::Fabric> fabric_;
+  std::vector<Node> nodes_;
+  std::map<int, double> cells_;  ///< the surviving store (models the GA)
+  std::set<int> executed_anywhere_;  ///< per-submission, any rank
+  /// Engine-side mirror of every (dst, src) dedup window, fed the same
+  /// accept/rebase sequence as the real mailboxes; a divergence between
+  /// mirror verdict and mailbox behavior is MPS004.
+  std::map<std::pair<int, int>, vc::SeqWindow> mirror_;
+  int submission_ = 0;
+  int drops_used_ = 0;
+  int dups_used_ = 0;
+  bool crashed_ = false;
+  std::vector<Diag> findings_;
+};
+
+}  // namespace mp::analysis

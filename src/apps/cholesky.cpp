@@ -42,6 +42,138 @@ double cholesky_residual(const std::vector<double>& a,
   return r;
 }
 
+ptg::Taskpool build_cholesky_pool(int tiles, int nranks,
+                                  CholeskyPoolIds* ids) {
+  const int T = tiles;
+  MP_REQUIRE(T >= 1 && nranks >= 1, "build_cholesky_pool: bad geometry");
+  // 1D cyclic placement over a tile hash (2D block-cyclic in spirit).
+  auto owner = [nranks](int i, int j) { return (i * 53 + j) % nranks; };
+  auto noop = [](TaskCtx&) {};
+
+  ptg::Taskpool pool;
+
+  TaskClass potrf;
+  potrf.name = "POTRF";
+  potrf.rank_of = [owner](const Params& p) { return owner(p[0], p[0]); };
+  potrf.num_task_inputs = [](const Params& p) { return p[0] == 0 ? 0 : 1; };
+  // The last diagonal factor has no trailing panel to feed.
+  potrf.num_outputs = [T](const Params& p) { return p[0] + 1 < T ? 1 : 0; };
+  potrf.priority = [T](const Params& p) {
+    return 3.0 * static_cast<double>(T - p[0]);
+  };
+  potrf.enumerate_rank = [T, owner](int rank) {
+    std::vector<Params> out;
+    for (int k = 0; k < T; ++k) {
+      if (owner(k, k) == rank) out.push_back(params_of(k));
+    }
+    return out;
+  };
+  potrf.body = noop;
+
+  TaskClass trsm;
+  trsm.name = "TRSM";
+  trsm.rank_of = [owner](const Params& p) { return owner(p[0], p[1]); };
+  trsm.num_task_inputs = [](const Params& p) { return p[1] == 0 ? 1 : 2; };
+  trsm.num_outputs = [](const Params&) { return 1; };
+  trsm.priority = [T](const Params& p) {
+    return 2.0 * static_cast<double>(T - p[1]);
+  };
+  trsm.enumerate_rank = [T, owner](int rank) {
+    std::vector<Params> out;
+    for (int k = 0; k < T; ++k) {
+      for (int i = k + 1; i < T; ++i) {
+        if (owner(i, k) == rank) out.push_back(params_of(i, k));
+      }
+    }
+    return out;
+  };
+  trsm.body = noop;
+
+  TaskClass syrk;
+  syrk.name = "SYRK";
+  syrk.rank_of = [owner](const Params& p) { return owner(p[0], p[0]); };
+  syrk.num_task_inputs = [](const Params& p) { return p[1] == 0 ? 1 : 2; };
+  syrk.num_outputs = [](const Params&) { return 1; };
+  syrk.priority = [T](const Params& p) {
+    return static_cast<double>(T - p[1]);
+  };
+  syrk.enumerate_rank = [T, owner](int rank) {
+    std::vector<Params> out;
+    for (int i = 1; i < T; ++i) {
+      for (int k = 0; k < i; ++k) {
+        if (owner(i, i) == rank) out.push_back(params_of(i, k));
+      }
+    }
+    return out;
+  };
+  syrk.body = noop;
+
+  TaskClass gemm;
+  gemm.name = "GEMM";
+  gemm.rank_of = [owner](const Params& p) { return owner(p[0], p[1]); };
+  gemm.num_task_inputs = [](const Params& p) { return p[2] == 0 ? 2 : 3; };
+  gemm.num_outputs = [](const Params&) { return 1; };
+  gemm.priority = [T](const Params& p) {
+    return static_cast<double>(T - p[2]);
+  };
+  gemm.enumerate_rank = [T, owner](int rank) {
+    std::vector<Params> out;
+    for (int i = 2; i < T; ++i) {
+      for (int j = 1; j < i; ++j) {
+        for (int k = 0; k < j; ++k) {
+          if (owner(i, j) == rank) out.push_back(params_of(i, j, k));
+        }
+      }
+    }
+    return out;
+  };
+  gemm.body = noop;
+
+  const auto potrf_id = pool.add_class(std::move(potrf));
+  const auto trsm_id = pool.add_class(std::move(trsm));
+  const auto syrk_id = pool.add_class(std::move(syrk));
+  const auto gemm_id = pool.add_class(std::move(gemm));
+
+  pool.mutable_cls(potrf_id).route_outputs =
+      [T, trsm_id](const Params& p, std::vector<OutRoute>& r) {
+        for (int i = p[0] + 1; i < T; ++i) {
+          r.push_back({TaskKey{trsm_id, params_of(i, p[0])}, 0, 0});
+        }
+      };
+  pool.mutable_cls(trsm_id).route_outputs =
+      [T, syrk_id, gemm_id](const Params& p, std::vector<OutRoute>& r) {
+        const int i = p[0], k = p[1];
+        r.push_back({TaskKey{syrk_id, params_of(i, k)}, 0, 0});
+        for (int j = k + 1; j < i; ++j) {
+          r.push_back({TaskKey{gemm_id, params_of(i, j, k)}, 0, 0});
+        }
+        for (int i2 = i + 1; i2 < T; ++i2) {
+          r.push_back({TaskKey{gemm_id, params_of(i2, i, k)}, 1, 0});
+        }
+      };
+  pool.mutable_cls(syrk_id).route_outputs =
+      [potrf_id, syrk_id](const Params& p, std::vector<OutRoute>& r) {
+        const int i = p[0], k = p[1];
+        if (k < i - 1) {
+          r.push_back({TaskKey{syrk_id, params_of(i, k + 1)}, 1, 0});
+        } else {
+          r.push_back({TaskKey{potrf_id, params_of(i)}, 0, 0});
+        }
+      };
+  pool.mutable_cls(gemm_id).route_outputs =
+      [trsm_id, gemm_id](const Params& p, std::vector<OutRoute>& r) {
+        const int i = p[0], j = p[1], k = p[2];
+        if (k < j - 1) {
+          r.push_back({TaskKey{gemm_id, params_of(i, j, k + 1)}, 2, 0});
+        } else {
+          r.push_back({TaskKey{trsm_id, params_of(i, j)}, 1, 0});
+        }
+      };
+
+  if (ids) *ids = {potrf_id, trsm_id, syrk_id, gemm_id};
+  return pool;
+}
+
 TiledCholeskyResult tiled_cholesky(vc::Cluster& cluster,
                                    const std::vector<double>& a,
                                    const TiledCholeskyOptions& opts) {
@@ -60,9 +192,6 @@ TiledCholeskyResult tiled_cholesky(vc::Cluster& cluster,
 
   cluster.run([&](vc::RankCtx& rctx) {
     const int nranks = rctx.nranks();
-    // 1D cyclic placement over a tile hash (2D block-cyclic in spirit).
-    auto owner = [nranks](int i, int j) { return (i * 53 + j) % nranks; };
-
     const size_t bs = static_cast<size_t>(b);
     auto load_tile = [A, n, bs](int ti, int tj) {
       auto buf = ptg::make_buf(bs * bs);
@@ -83,47 +212,22 @@ TiledCholeskyResult tiled_cholesky(vc::Cluster& cluster,
       }
     };
 
-    ptg::Taskpool pool;
+    // Structure (placement, thresholds, dataflow) comes from the shared
+    // builder — the same pool tools/mp-verify statically verifies — and
+    // only the numeric kernels are installed here.
+    CholeskyPoolIds ids;
+    ptg::Taskpool pool = build_cholesky_pool(T, nranks, &ids);
 
-    TaskClass potrf;
-    potrf.name = "POTRF";
-    potrf.rank_of = [owner](const Params& p) { return owner(p[0], p[0]); };
-    potrf.num_task_inputs = [](const Params& p) { return p[0] == 0 ? 0 : 1; };
-    potrf.priority = [T](const Params& p) {
-      return 3.0 * static_cast<double>(T - p[0]);
-    };
-    potrf.enumerate_rank = [T, owner](int rank) {
-      std::vector<Params> out;
-      for (int k = 0; k < T; ++k) {
-        if (owner(k, k) == rank) out.push_back(params_of(k));
-      }
-      return out;
-    };
-    potrf.body = [load_tile, store_tile, bs](TaskCtx& t) {
+    pool.mutable_cls(ids.potrf).body = [load_tile, store_tile, bs](
+                                           TaskCtx& t) {
       const int k = t.params()[0];
       DataBuf tile = (k == 0) ? load_tile(0, 0) : t.take_input(0);
       linalg::potrf_lower(bs, tile->data(), bs);
       store_tile(k, k, tile);
       t.set_output(0, std::move(tile));
     };
-
-    TaskClass trsm;
-    trsm.name = "TRSM";
-    trsm.rank_of = [owner](const Params& p) { return owner(p[0], p[1]); };
-    trsm.num_task_inputs = [](const Params& p) { return p[1] == 0 ? 1 : 2; };
-    trsm.priority = [T](const Params& p) {
-      return 2.0 * static_cast<double>(T - p[1]);
-    };
-    trsm.enumerate_rank = [T, owner](int rank) {
-      std::vector<Params> out;
-      for (int k = 0; k < T; ++k) {
-        for (int i = k + 1; i < T; ++i) {
-          if (owner(i, k) == rank) out.push_back(params_of(i, k));
-        }
-      }
-      return out;
-    };
-    trsm.body = [load_tile, store_tile, bs](TaskCtx& t) {
+    pool.mutable_cls(ids.trsm).body = [load_tile, store_tile, bs](
+                                          TaskCtx& t) {
       const int i = t.params()[0], k = t.params()[1];
       const DataBuf& lkk = t.input(0);
       DataBuf tile = (k == 0) ? load_tile(i, 0) : t.take_input(1);
@@ -131,50 +235,14 @@ TiledCholeskyResult tiled_cholesky(vc::Cluster& cluster,
       store_tile(i, k, tile);
       t.set_output(0, std::move(tile));
     };
-
-    TaskClass syrk;
-    syrk.name = "SYRK";
-    syrk.rank_of = [owner](const Params& p) { return owner(p[0], p[0]); };
-    syrk.num_task_inputs = [](const Params& p) { return p[1] == 0 ? 1 : 2; };
-    syrk.priority = [T](const Params& p) {
-      return static_cast<double>(T - p[1]);
-    };
-    syrk.enumerate_rank = [T, owner](int rank) {
-      std::vector<Params> out;
-      for (int i = 1; i < T; ++i) {
-        for (int k = 0; k < i; ++k) {
-          if (owner(i, i) == rank) out.push_back(params_of(i, k));
-        }
-      }
-      return out;
-    };
-    syrk.body = [load_tile, bs](TaskCtx& t) {
+    pool.mutable_cls(ids.syrk).body = [load_tile, bs](TaskCtx& t) {
       const int i = t.params()[0], k = t.params()[1];
       const DataBuf& panel = t.input(0);
       DataBuf diag = (k == 0) ? load_tile(i, i) : t.take_input(1);
       linalg::syrk_ln(bs, bs, panel->data(), bs, diag->data(), bs);
       t.set_output(0, std::move(diag));
     };
-
-    TaskClass gemm;
-    gemm.name = "GEMM";
-    gemm.rank_of = [owner](const Params& p) { return owner(p[0], p[1]); };
-    gemm.num_task_inputs = [](const Params& p) { return p[2] == 0 ? 2 : 3; };
-    gemm.priority = [T](const Params& p) {
-      return static_cast<double>(T - p[2]);
-    };
-    gemm.enumerate_rank = [T, owner](int rank) {
-      std::vector<Params> out;
-      for (int i = 2; i < T; ++i) {
-        for (int j = 1; j < i; ++j) {
-          for (int k = 0; k < j; ++k) {
-            if (owner(i, j) == rank) out.push_back(params_of(i, j, k));
-          }
-        }
-      }
-      return out;
-    };
-    gemm.body = [load_tile, bs](TaskCtx& t) {
+    pool.mutable_cls(ids.gemm).body = [load_tile, bs](TaskCtx& t) {
       const int i = t.params()[0], j = t.params()[1], k = t.params()[2];
       const DataBuf& tik = t.input(0);
       const DataBuf& tjk = t.input(1);
@@ -183,47 +251,6 @@ TiledCholeskyResult tiled_cholesky(vc::Cluster& cluster,
                     bs, 1.0, tile->data(), bs);
       t.set_output(0, std::move(tile));
     };
-
-    const auto potrf_id = pool.add_class(std::move(potrf));
-    const auto trsm_id = pool.add_class(std::move(trsm));
-    const auto syrk_id = pool.add_class(std::move(syrk));
-    const auto gemm_id = pool.add_class(std::move(gemm));
-
-    pool.mutable_cls(potrf_id).route_outputs =
-        [T, trsm_id](const Params& p, std::vector<OutRoute>& r) {
-          for (int i = p[0] + 1; i < T; ++i) {
-            r.push_back({TaskKey{trsm_id, params_of(i, p[0])}, 0, 0});
-          }
-        };
-    pool.mutable_cls(trsm_id).route_outputs =
-        [T, syrk_id, gemm_id](const Params& p, std::vector<OutRoute>& r) {
-          const int i = p[0], k = p[1];
-          r.push_back({TaskKey{syrk_id, params_of(i, k)}, 0, 0});
-          for (int j = k + 1; j < i; ++j) {
-            r.push_back({TaskKey{gemm_id, params_of(i, j, k)}, 0, 0});
-          }
-          for (int i2 = i + 1; i2 < T; ++i2) {
-            r.push_back({TaskKey{gemm_id, params_of(i2, i, k)}, 1, 0});
-          }
-        };
-    pool.mutable_cls(syrk_id).route_outputs =
-        [potrf_id, syrk_id](const Params& p, std::vector<OutRoute>& r) {
-          const int i = p[0], k = p[1];
-          if (k < i - 1) {
-            r.push_back({TaskKey{syrk_id, params_of(i, k + 1)}, 1, 0});
-          } else {
-            r.push_back({TaskKey{potrf_id, params_of(i)}, 0, 0});
-          }
-        };
-    pool.mutable_cls(gemm_id).route_outputs =
-        [trsm_id, gemm_id](const Params& p, std::vector<OutRoute>& r) {
-          const int i = p[0], j = p[1], k = p[2];
-          if (k < j - 1) {
-            r.push_back({TaskKey{gemm_id, params_of(i, j, k + 1)}, 2, 0});
-          } else {
-            r.push_back({TaskKey{trsm_id, params_of(i, j)}, 1, 0});
-          }
-        };
 
     ptg::Options ropts;
     ropts.num_workers = opts.workers_per_rank;

@@ -38,6 +38,24 @@ struct TiledCholeskyResult {
   ptg::Trace trace;        ///< merged over ranks (if tracing)
 };
 
+/// Class ids of the four-class Cholesky pool, in registration order.
+struct CholeskyPoolIds {
+  int16_t potrf = -1;
+  int16_t trsm = -1;
+  int16_t syrk = -1;
+  int16_t gemm = -1;
+};
+
+/// Build the symbolic POTRF/TRSM/SYRK/GEMM taskpool for a `tiles` x
+/// `tiles` grid distributed over `nranks` ranks: placement, priorities,
+/// input/output declarations and the full dataflow wiring, with no-op
+/// bodies. tiled_cholesky() installs the real kernels on top;
+/// tools/mp-verify materializes the pool as-is and runs
+/// analysis::verify_graph over it, so the statically verified graph is
+/// exactly the one the runtime executes.
+ptg::Taskpool build_cholesky_pool(int tiles, int nranks,
+                                  CholeskyPoolIds* ids = nullptr);
+
 /// Factor the dense column-major SPD matrix `a` (size n*n, n =
 /// tiles*tile_size, replicated on every rank) over the cluster.
 TiledCholeskyResult tiled_cholesky(vc::Cluster& cluster,

@@ -605,46 +605,28 @@ void Context::record_error(const std::string& reason) {
 }
 
 int Context::effective_rank(const TaskKey& key) const {
+  // The re-homing rules themselves live in ptg/protocol.h so the
+  // mp-explore model checker adopts with exactly this arithmetic.
   const int home = pool_.cls(key.cls).rank_of(key.p);
   const uint64_t dead = confirmed_dead_mask_.load(std::memory_order_acquire);
   if (dead == 0 || ((dead >> home) & 1ULL) == 0) return home;
   switch (opts_.on_rank_failure) {
-    case FailurePolicy::kRetry: {
+    case FailurePolicy::kRetry:
       // Next live rank after the home in ring order: keeps the original
       // distribution for everything except the dead rank's keys.
-      for (int i = 1; i < nranks(); ++i) {
-        const int cand = (home + i) % nranks();
-        if (((dead >> cand) & 1ULL) == 0) return cand;
-      }
-      return home;
-    }
+      return protocol::retry_standin(home, dead, nranks());
     case FailurePolicy::kDegrade: {
       // Rebuild over the surviving communicator: hash over the ordered
       // survivor list. Deterministic in (key, dead set) only. Classes with
-      // a recovery_key hash the *group* id, not the individual key — the
-      // co-adoption invariant (taskpool.h): every lost instance of one
-      // group must land on the same adopter, or each adopter runs the
-      // group's on_adopt reset independently and a late reset wipes
-      // another adopter's already re-executed contributions.
-      int survivors[64];
-      int ns = 0;
-      for (int r = 0; r < nranks(); ++r) {
-        if (((dead >> r) & 1ULL) == 0) survivors[ns++] = r;
-      }
-      if (ns == 0) return home;
+      // a recovery_key hash the *group* id, not the individual key (see
+      // protocol::recovery_group_hash on the co-adoption invariant).
       const TaskClass& c = pool_.cls(key.cls);
-      size_t h;
-      if (c.recovery_key) {
-        uint64_t g = 1469598103934665603ULL;
-        g ^= static_cast<uint64_t>(static_cast<uint16_t>(key.cls));
-        g *= 1099511628211ULL;
-        g ^= static_cast<uint64_t>(c.recovery_key(key.p));
-        g *= 1099511628211ULL;
-        h = static_cast<size_t>(g);
-      } else {
-        h = TaskKeyHash{}(key);
-      }
-      return survivors[h % static_cast<size_t>(ns)];
+      const uint64_t h =
+          c.recovery_key
+              ? protocol::recovery_group_hash(key.cls, c.recovery_key(key.p))
+              : static_cast<uint64_t>(TaskKeyHash{}(key));
+      const int cand = protocol::degrade_standin(h, dead, nranks());
+      return cand < 0 ? home : cand;
     }
     case FailurePolicy::kAbort:
       break;  // escalating anyway; keep routes stable
@@ -1140,7 +1122,11 @@ void Context::comm_loop() {
           fs_suspicions_cleared_.fetch_add(1, std::memory_order_release);
         }
       }
-      if (msg->tag == kTagActivate) {
+      // One case per WireTag enumerator (tools/lint.py enforces the switch
+      // stays exhaustive as tags are added — a silently dropped tag is the
+      // PR 6 livelock class); the default catches garbage off the wire.
+      switch (msg->tag) {
+      case kTagActivate: {
         try {
           vc::WireReader r(msg->payload);
           const int64_t load = r.get<int64_t>();  // piggybacked load hint
@@ -1161,7 +1147,9 @@ void Context::comm_loop() {
         } catch (...) {
           record_error();
         }
-      } else if (msg->tag == kTagAbort) {
+        break;
+      }
+      case kTagAbort: {
         try {
           const std::string reason(msg->payload.begin(), msg->payload.end());
           throw StateError(
@@ -1173,11 +1161,15 @@ void Context::comm_loop() {
         } catch (...) {
           record_error();
         }
-      } else if (msg->tag == kTagStealRequest) {
+        break;
+      }
+      case kTagStealRequest:
         serve_steal_request(*msg);
-      } else if (msg->tag == kTagStealReply) {
+        break;
+      case kTagStealReply:
         absorb_steal_reply(*msg);
-      } else if (msg->tag == kTagCredit) {
+        break;
+      case kTagCredit: {
         try {
           vc::WireReader r(msg->payload);
           const int64_t load = r.get<int64_t>();
@@ -1201,7 +1193,9 @@ void Context::comm_loop() {
         } catch (...) {
           record_error();
         }
-      } else if (msg->tag == kTagLocalDone) {
+        break;
+      }
+      case kTagLocalDone: {
         if (rank() == 0) {
           uint64_t sender_dead_mask = 0;
           if (!msg->payload.empty()) {
@@ -1226,17 +1220,23 @@ void Context::comm_loop() {
                       "coordinator",
                       rank());
         }
-      } else if (msg->tag == kTagJobDone) {
+        break;
+      }
+      case kTagJobDone:
         done_.store(true, std::memory_order_release);
         wake_all();
-      } else if (msg->tag == kTagHeartbeat) {
+        break;
+      case kTagHeartbeat:
         // Liveness was refreshed above; answer probes / count answers.
         // Deliberately NOT progress: heartbeat chatter from a stalled job
-        // must not reset the watchdog (same discipline as steal chatter).
+        // must not reset the watchdog (same discipline as steal chatter;
+        // protocol::work_moving is the canonical rule).
         on_heartbeat(*msg);
-      } else {
+        break;
+      default:
         MP_LOG_WARN("comm thread: dropping message with unknown tag %d",
                     msg->tag);
+        break;
       }
       msg = mb.try_pop();
     }

@@ -39,6 +39,7 @@
 
 #include "analysis/diagnostics.h"
 #include "ptg/failure.h"
+#include "ptg/protocol.h"
 #include "ptg/scheduler.h"
 #include "ptg/taskpool.h"
 #include "ptg/trace.h"
@@ -209,25 +210,27 @@ struct StealStats {
 
 class Context {
  public:
+  // The wire tags live in ptg/protocol.h (shared with the mp-explore model
+  // checker); these aliases keep the runtime's existing spelling.
   /// Message tag used for dependency activations on the fabric.
-  static constexpr int kTagActivate = 101;
+  static constexpr int kTagActivate = kWireActivate;
   /// Broadcast when a rank aborts (task body threw): peers stop waiting
   /// for activations that will never come and unwind too.
-  static constexpr int kTagAbort = 102;
+  static constexpr int kTagAbort = kWireAbort;
   /// Inter-node stealing: idle thief asking a victim for work.
-  static constexpr int kTagStealRequest = 103;
+  static constexpr int kTagStealRequest = kWireStealRequest;
   /// Victim's answer: a (possibly empty) batch of migrated ready tasks.
-  static constexpr int kTagStealReply = 104;
+  static constexpr int kTagStealReply = kWireStealReply;
   /// Thief -> home rank: one migrated task finished executing.
-  static constexpr int kTagCredit = 105;
+  static constexpr int kTagCredit = kWireCredit;
   /// Rank -> rank 0: executed + credits_received == expected here.
-  static constexpr int kTagLocalDone = 106;
+  static constexpr int kTagLocalDone = kWireLocalDone;
   /// Rank 0 -> all: every rank reported local-done; the job is finished.
-  static constexpr int kTagJobDone = 107;
+  static constexpr int kTagJobDone = kWireJobDone;
   /// Failure detector liveness traffic: periodic beat, probe ("answer me
   /// now"), or probe answer — see the flag byte in the payload. Never
-  /// counted as watchdog progress.
-  static constexpr int kTagHeartbeat = 108;
+  /// counted as watchdog progress (protocol::work_moving).
+  static constexpr int kTagHeartbeat = kWireHeartbeat;
 
   Context(vc::RankCtx& rank_ctx, const Taskpool& pool, Options opts = {});
   /// Persistent mode: parks are woken for shutdown and the long-lived

@@ -1,0 +1,110 @@
+// Pure, shared decision rules of the distributed runtime protocols.
+//
+// The comm thread (src/ptg/context.cpp) and the mp-explore protocol model
+// (src/analysis/explore_model.cpp) must make the *same* decisions — which
+// rank a key re-homes to after a death, which messages count as watchdog
+// progress — or the model checker would verify a protocol the runtime does
+// not run. Every rule here is a free function of its inputs with no runtime
+// state, so both sides call the one definition.
+#pragma once
+
+#include <cstdint>
+
+namespace mp::ptg {
+
+/// Wire tags of every message the runtime exchanges over the fabric.
+/// Context exposes them as kTag* aliases; switches over a message tag in
+/// src/ptg / src/vc must handle every enumerator or carry a default that
+/// raises (tools/lint.py: wire-tag-exhaustiveness) — a silently dropped
+/// tag is the PR 6 livelock class.
+enum WireTag : int {
+  /// Remote activation: a producer deposits into a consumer's input slot.
+  kWireActivate = 101,
+  /// A rank failed; everyone must unwind (payload: reason).
+  kWireAbort = 102,
+  /// Idle rank asks a victim for work (payload: thief load hint).
+  kWireStealRequest = 103,
+  /// Victim's answer, possibly carrying migrated tasks.
+  kWireStealReply = 104,
+  /// A migrated task retired at its holder; credit its home rank.
+  kWireCredit = 105,
+  /// A rank reports local completion to the coordinator (rank 0).
+  kWireLocalDone = 106,
+  /// Coordinator broadcast: the whole job is done.
+  kWireJobDone = 107,
+  /// Failure-detector beat / probe / probe answer.
+  kWireHeartbeat = 108,
+};
+
+namespace protocol {
+
+/// The watchdog progress rule (DESIGN.md §9, the PR 6 livelock fix): only
+/// messages that MOVE WORK may reset the progress watchdog. Activations
+/// and credits always do; a steal request/reply only when tasks actually
+/// shipped (`moved_tasks`); a LOCAL_DONE only on the first report from its
+/// rank (`fresh_report`) — periodic resends must not keep a stalled job
+/// alive. Heartbeat, abort and job-done chatter never count: the idle
+/// steal/heartbeat traffic of a job stalled on a lost activation would
+/// otherwise reset the deadline forever and the loss would hang the run
+/// instead of tripping the watchdog. mp-explore uses this same predicate
+/// as its livelock oracle (MPS006).
+inline bool work_moving(int tag, bool moved_tasks, bool fresh_report) {
+  switch (tag) {
+    case kWireActivate:
+    case kWireCredit:
+      return true;
+    case kWireStealRequest:
+    case kWireStealReply:
+      return moved_tasks;
+    case kWireLocalDone:
+      return fresh_report;
+    case kWireAbort:
+    case kWireJobDone:
+    case kWireHeartbeat:
+      return false;
+    default:
+      return false;  // unknown tags are dropped with a warning, not progress
+  }
+}
+
+/// kRetry re-home: the next live rank after `home` in ring order. Keeps the
+/// original distribution for everything except the dead rank's keys.
+inline int retry_standin(int home, uint64_t dead_mask, int nranks) {
+  for (int i = 1; i < nranks; ++i) {
+    const int cand = (home + i) % nranks;
+    if (((dead_mask >> cand) & 1ULL) == 0) return cand;
+  }
+  return home;
+}
+
+/// FNV-1a fold of (class, recovery-group id). kDegrade hashes the *group*,
+/// not the individual key — the co-adoption invariant (taskpool.h): every
+/// lost instance of one group must land on the same adopter, or each
+/// adopter runs the group's on_adopt reset independently and a late reset
+/// wipes another adopter's already re-executed contributions.
+inline uint64_t recovery_group_hash(int16_t cls, int64_t group) {
+  uint64_t g = 1469598103934665603ULL;
+  g ^= static_cast<uint64_t>(static_cast<uint16_t>(cls));
+  g *= 1099511628211ULL;
+  g ^= static_cast<uint64_t>(group);
+  g *= 1099511628211ULL;
+  return g;
+}
+
+/// kDegrade re-home: rebuild the distribution over the surviving
+/// communicator by indexing the ordered survivor list with `hash` (a
+/// recovery_group_hash, or a plain key hash for group-less classes).
+/// Deterministic in (hash, dead set) only. Returns -1 when nobody
+/// survives.
+inline int degrade_standin(uint64_t hash, uint64_t dead_mask, int nranks) {
+  int survivors[64];
+  int ns = 0;
+  for (int r = 0; r < nranks; ++r) {
+    if (((dead_mask >> r) & 1ULL) == 0) survivors[ns++] = r;
+  }
+  if (ns == 0) return -1;
+  return survivors[hash % static_cast<uint64_t>(ns)];
+}
+
+}  // namespace protocol
+}  // namespace mp::ptg

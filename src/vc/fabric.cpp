@@ -26,6 +26,14 @@ Fabric::Fabric(std::vector<Mailbox>* mailboxes, FabricConfig cfg)
       rng_(cfg_.fault_seed) {
   MP_REQUIRE(mailboxes_ != nullptr && !mailboxes_->empty(),
              "Fabric: need at least one mailbox");
+  MP_REQUIRE(!cfg_.controlled || !delayed_,
+             "Fabric: controlled mode excludes latency/bandwidth/jitter — "
+             "the exploration engine's choice sequence is the clock");
+  MP_REQUIRE(!cfg_.controlled ||
+                 (cfg_.faults.drop_prob == 0.0 && cfg_.faults.dup_prob == 0.0 &&
+                  cfg_.link_faults.empty()),
+             "Fabric: controlled mode excludes probabilistic faults — "
+             "drops and duplicates are explicit engine choices");
   wire_seq_ = std::vector<std::atomic<uint64_t>>(mailboxes_->size());
   crash_fired_ = std::vector<std::atomic<uint8_t>>(cfg_.crash_plans.size());
   for (const CrashPlan& cp : cfg_.crash_plans) {
@@ -34,7 +42,10 @@ Fabric::Fabric(std::vector<Mailbox>* mailboxes, FabricConfig cfg)
                    cp.victim < 64,
                "Fabric: CrashPlan victim out of range");
   }
-  bool lossless = !delayed_ && !cfg_.faults.any() && cfg_.crash_plans.empty();
+  // Controlled mode can disturb any message (the engine may drop or reorder
+  // at will), so it never qualifies as lossless-immediate.
+  bool lossless = !delayed_ && !cfg_.faults.any() && cfg_.crash_plans.empty() &&
+                  !cfg_.controlled;
   for (const auto& [link, faults] : cfg_.link_faults) {
     (void)link;
     if (faults.any()) lossless = false;
@@ -99,6 +110,16 @@ void Fabric::send(Message m) {
     count_sent(m);
     faults_partitioned_.fetch_add(1, std::memory_order_release);
     maybe_trigger_crash();
+    return;
+  }
+
+  // Controlled-scheduler mode: accept and park. Delivery, drops and
+  // duplicates all become explicit engine choices (deliver_pending and
+  // friends); crash plans never self-fire here.
+  if (cfg_.controlled) {
+    count_sent(m);
+    std::lock_guard lock(mu_);
+    ctrl_pending_.push_back(std::move(m));
     return;
   }
 
@@ -176,8 +197,60 @@ void Fabric::send(Message m) {
   maybe_trigger_crash();
 }
 
+Message Fabric::pending_peek(size_t i) const {
+  std::lock_guard lock(mu_);
+  MP_REQUIRE(i < ctrl_pending_.size(), "Fabric::pending_peek: bad index");
+  return ctrl_pending_[i];
+}
+
+size_t Fabric::pending_count() const {
+  std::lock_guard lock(mu_);
+  return ctrl_pending_.size();
+}
+
+void Fabric::deliver_pending(size_t i) {
+  MP_REQUIRE(cfg_.controlled, "Fabric::deliver_pending: not in controlled mode");
+  Message m;
+  {
+    std::lock_guard lock(mu_);
+    MP_REQUIRE(i < ctrl_pending_.size(), "Fabric::deliver_pending: bad index");
+    m = std::move(ctrl_pending_[i]);
+    ctrl_pending_.erase(ctrl_pending_.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+  }
+  // Outside mu_: deliver() takes the destination mailbox's lock.
+  deliver(std::move(m));
+}
+
+void Fabric::drop_pending(size_t i) {
+  MP_REQUIRE(cfg_.controlled, "Fabric::drop_pending: not in controlled mode");
+  std::lock_guard lock(mu_);
+  MP_REQUIRE(i < ctrl_pending_.size(), "Fabric::drop_pending: bad index");
+  ctrl_pending_.erase(ctrl_pending_.begin() + static_cast<std::ptrdiff_t>(i));
+  faults_dropped_.fetch_add(1, std::memory_order_release);
+}
+
+void Fabric::duplicate_pending(size_t i) {
+  MP_REQUIRE(cfg_.controlled,
+             "Fabric::duplicate_pending: not in controlled mode");
+  std::lock_guard lock(mu_);
+  MP_REQUIRE(i < ctrl_pending_.size(),
+             "Fabric::duplicate_pending: bad index");
+  // Byte-identical copy, seq included — exactly what the probabilistic dup
+  // fault produces, so the mailbox dedup semantics under test are the same.
+  ctrl_pending_.push_back(ctrl_pending_[i]);
+  faults_duplicated_.fetch_add(1, std::memory_order_release);
+}
+
+uint64_t Fabric::wire_seq_next(int src) const {
+  MP_REQUIRE(src >= 0 && static_cast<size_t>(src) < wire_seq_.size(),
+             "Fabric::wire_seq_next: bad rank");
+  return 1 + wire_seq_[static_cast<size_t>(src)].load(
+                 std::memory_order_acquire);
+}
+
 void Fabric::maybe_trigger_crash() {
-  if (cfg_.crash_plans.empty()) return;
+  if (cfg_.crash_plans.empty() || cfg_.controlled) return;
   const uint64_t accepted = messages_sent_.load(std::memory_order_acquire);
   for (size_t i = 0; i < cfg_.crash_plans.size(); ++i) {
     const CrashPlan& cp = cfg_.crash_plans[i];

@@ -24,6 +24,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -81,6 +82,15 @@ struct FabricConfig {
   uint64_t fault_seed = 0x5eedfab51cULL;
   /// Scheduled rank crashes (see CrashPlan). Each fires at most once.
   std::vector<CrashPlan> crash_plans;
+  /// Controlled-scheduler mode (mp-explore, DESIGN.md §12): send() stamps
+  /// and accepts messages exactly as usual but parks them on an in-order
+  /// pending list instead of delivering. An exploration engine then decides
+  /// the fate of every message — deliver / drop / duplicate, in any order —
+  /// through the pending_*() APIs, and crash plans never self-fire (the
+  /// engine kills ranks as explicit choice points). Mutually exclusive with
+  /// latency/bandwidth/jitter (the engine's choice sequence is the clock)
+  /// and with the probabilistic drop/dup faults (faults become choices).
+  bool controlled = false;
 };
 
 /// Snapshot of the fabric's counters. `messages_sent` counts messages the
@@ -233,6 +243,35 @@ class Fabric {
     return lossless_immediate_.load(std::memory_order_acquire);
   }
 
+  // -- controlled-scheduler mode (FabricConfig::controlled; mp-explore) --
+  // In this mode the fabric is a passive in-flight message set: accepted
+  // messages park until the exploration engine delivers, drops, or
+  // duplicates them by index. Indices are positional (0 .. count-1) into
+  // the current pending list; delivering or dropping compacts the list.
+
+  bool controlled() const { return cfg_.controlled; }
+  /// Number of parked messages.
+  size_t pending_count() const;
+  /// Copy of the i-th parked message (the engine inspects src/dst/tag/seq
+  /// to name its choice points).
+  Message pending_peek(size_t i) const;
+  /// Deliver the i-th parked message now: push it to the destination
+  /// mailbox (whose dedup window may still filter it) and remove it.
+  void deliver_pending(size_t i);
+  /// Drop the i-th parked message (an explicit fault choice, counted as
+  /// faults_dropped).
+  void drop_pending(size_t i);
+  /// Park a byte-identical copy — same wire seq — of the i-th message at
+  /// the tail (counted as faults_duplicated). The engine delivers both
+  /// copies separately; the mailbox's exactly-once window is what must
+  /// make the second one invisible.
+  void duplicate_pending(size_t i);
+  /// Next wire sequence number the fabric would stamp for `src` (i.e. one
+  /// past the last stamped seq). The engine encodes window and pending
+  /// seqs relative to this so its state fingerprints are invariant under
+  /// the monotone seq drift of equivalent protocol states.
+  uint64_t wire_seq_next(int src) const;
+
  private:
   struct Pending {
     std::chrono::steady_clock::time_point deliver_at;
@@ -284,9 +323,11 @@ class Fabric {
   std::vector<std::atomic<uint8_t>> crash_fired_;
   std::function<void(int)> kill_cb_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::priority_queue<Pending, std::vector<Pending>, std::greater<>> pending_;
+  /// Controlled-mode parked messages, in accept order (guarded by mu_).
+  std::deque<Message> ctrl_pending_;
   Rng rng_;  // fault RNG, guarded by mu_
   /// Per-source wire sequence counters (index = src rank). Each accepted
   /// message is stamped with the next value before any fault is drawn, so

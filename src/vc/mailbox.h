@@ -16,10 +16,12 @@
 #include <map>
 #include <mutex>
 #include <optional>
-#include <set>
+#include <utility>
+#include <vector>
 
 #include "support/analysis.h"
 #include "vc/message.h"
+#include "vc/seq_window.h"
 
 namespace mp::vc {
 
@@ -98,10 +100,7 @@ class Mailbox {
     std::lock_guard lock(mu_);
     for (auto& [src, w] : windows_) {
       (void)src;
-      if (!w.above.empty()) {
-        w.watermark = std::max(w.watermark, *w.above.rbegin());
-        w.above.clear();
-      }
+      w.rebase();
     }
   }
 
@@ -113,9 +112,17 @@ class Mailbox {
     size_t n = 0;
     for (const auto& [src, w] : windows_) {
       (void)src;
-      n += w.above.size();
+      n += w.backlog();
     }
     return n;
+  }
+
+  /// Copy of the per-source dedup windows, ordered by source rank. The
+  /// mp-explore engine folds this into its state fingerprints; tests use
+  /// it to assert window shape directly.
+  std::vector<std::pair<int, SeqWindow>> window_snapshot() const {
+    std::lock_guard lock(mu_);
+    return {windows_.begin(), windows_.end()};
   }
 
   bool closed() const {
@@ -134,25 +141,8 @@ class Mailbox {
   }
 
  private:
-  /// Exactly-once window for one source: every seq <= watermark has been
-  /// accepted, plus the out-of-order set above it. The set stays small in
-  /// FIFO operation (it drains into the watermark) and is bounded by the
-  /// number of in-flight reordered messages otherwise; gaps left by genuine
-  /// drops simply pin the watermark, which is still correct.
-  struct SeqWindow {
-    uint64_t watermark = 0;
-    std::set<uint64_t> above;
-  };
-
   bool accept_seq_locked(int src, uint64_t seq) {
-    SeqWindow& w = windows_[src];
-    if (seq <= w.watermark) return false;
-    if (!w.above.insert(seq).second) return false;
-    while (!w.above.empty() && *w.above.begin() == w.watermark + 1) {
-      w.above.erase(w.above.begin());
-      ++w.watermark;
-    }
-    return true;
+    return windows_[src].accept(seq);
   }
 
   std::optional<Message> pop_locked() {

@@ -1,0 +1,68 @@
+// Exactly-once sequence window for one (source, destination) pair.
+//
+// Every fabric-stamped message carries a per-source wire sequence number;
+// the receiver keeps one SeqWindow per source and discards any seq it has
+// already accepted — that single invariant is what makes activation
+// delivery idempotent under the fabric's dup fault and under lineage
+// replay (DESIGN.md §9/§10).
+//
+// The window is a watermark plus the out-of-order set above it: every
+// seq <= watermark has been accepted, and `above` holds the accepted seqs
+// that arrived before their predecessors. In FIFO operation the set drains
+// straight into the watermark; with reordering it is bounded by the number
+// of in-flight messages; gaps left by genuine drops pin the watermark
+// (still correct, the gap seq can never legitimately re-arrive from the
+// same incarnation) until rebase() collapses them at a quiescent point.
+//
+// Extracted from Mailbox so the mp-explore model checker and the direct
+// property tests (test_vc) exercise exactly the object the runtime runs.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <set>
+
+namespace mp::vc {
+
+struct SeqWindow {
+  uint64_t watermark = 0;
+  std::set<uint64_t> above;
+
+  /// Accept `seq` exactly once: true if this is the first time it is seen,
+  /// false for a duplicate (at or below the watermark, or already in the
+  /// out-of-order set). Accepting the seq just above the watermark drains
+  /// the contiguous prefix of `above` into it.
+  bool accept(uint64_t seq) {
+    if (seq <= watermark) return false;
+    if (!above.insert(seq).second) return false;
+    while (!above.empty() && *above.begin() == watermark + 1) {
+      above.erase(above.begin());
+      ++watermark;
+    }
+    return true;
+  }
+
+  /// Collapse to a plain high-water mark: the watermark jumps to the
+  /// highest seq ever accepted and the out-of-order set is cleared. Only
+  /// safe at a quiescent point where no message with a seq at or below
+  /// that maximum can still arrive — the gaps below it belong to messages
+  /// the fabric genuinely dropped, which the window would otherwise
+  /// remember forever (`above` grows without bound across submissions on
+  /// a lossy fabric).
+  void rebase() {
+    if (!above.empty()) {
+      watermark = std::max(watermark, *above.rbegin());
+      above.clear();
+    }
+  }
+
+  /// Out-of-order seqs currently remembered (what rebase() collapses).
+  size_t backlog() const { return above.size(); }
+
+  bool operator==(const SeqWindow& o) const {
+    return watermark == o.watermark && above == o.above;
+  }
+};
+
+}  // namespace mp::vc

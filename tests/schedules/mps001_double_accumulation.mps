@@ -1,0 +1,25 @@
+# mp-explore schedule v1
+workload t2_7
+nranks 2
+stealing 0
+heartbeats 0
+crash_victim 1
+submissions 1
+drop_budget 0
+dup_budget 0
+max_steps 200
+max_messages 40
+mutations skip_recovery_zero_reset
+steps:
+exec 0 0
+exec 0 2
+deliver 0 1 101 2
+exec 1 1
+deliver 1 0 101 1
+exec 0 4
+exec 1 5
+crash 1
+confirm 0 1
+exec 0 1
+exec 0 3
+exec 0 5

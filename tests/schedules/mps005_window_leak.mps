@@ -1,0 +1,28 @@
+# mp-explore schedule v1
+workload t2_7
+nranks 2
+stealing 0
+heartbeats 0
+crash_victim -1
+submissions 2
+drop_budget 1
+dup_budget 0
+max_steps 200
+max_messages 40
+mutations skip_seqwindow_rebase
+steps:
+exec 0 0
+deliver 0 1 101 1
+exec 0 2
+deliver 0 1 101 2
+exec 1 1
+deliver 1 0 101 1
+exec 0 4
+exec 1 3
+exec 1 5
+deliver 1 0 106 2
+drop 0 1 107 3
+resend 1
+deliver 1 0 106 3
+deliver 0 1 107 4
+reset

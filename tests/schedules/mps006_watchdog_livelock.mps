@@ -1,0 +1,29 @@
+# mp-explore schedule v1
+workload t2_7
+nranks 2
+stealing 1
+heartbeats 0
+crash_victim -1
+submissions 1
+drop_budget 1
+dup_budget 0
+max_steps 200
+max_messages 100
+mutations skip_watchdog_progress_rule
+steps:
+exec 0 0
+deliver 0 1 101 1
+exec 0 2
+deliver 0 1 101 2
+exec 1 1
+deliver 1 0 101 1
+exec 0 4
+exec 1 3
+exec 1 5
+deliver 1 0 106 2
+steal 1
+deliver 1 0 103 3
+deliver 0 1 104 4
+steal 1
+deliver 1 0 103 4
+deliver 0 1 104 5

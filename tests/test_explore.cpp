@@ -1,0 +1,388 @@
+// mp-explore model-checker tests (DESIGN.md §12).
+//
+// Three kinds of coverage:
+//  - exhaustive exploration of the small protocol configs must be CLEAN
+//    and COMPLETE on the current tree (the protocols as shipped have no
+//    reachable MPS violation at these sizes);
+//  - each seeded protocol mutation must produce its DISTINCT MPS code,
+//    with a minimized schedule that replays deterministically;
+//  - the pinned schedules under tests/schedules/ are regression anchors:
+//    they re-execute byte-for-byte identically on every run.
+#include "analysis/explore.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "analysis/explore_model.h"
+#include "gtest/gtest.h"
+
+namespace mp::analysis {
+namespace {
+
+#ifndef MP_TEST_SCHEDULE_DIR
+#error "build must define MP_TEST_SCHEDULE_DIR (tests/CMakeLists.txt)"
+#endif
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+Schedule load_schedule(const std::string& name) {
+  return Schedule::from_text(read_file(std::string(MP_TEST_SCHEDULE_DIR) +
+                                       "/" + name));
+}
+
+// ---------------------------------------------------------------------------
+// Model workload sanity
+
+TEST(ExploreModel, WorkloadTasksIndexedById) {
+  for (const char* kind : {"t2_7", "hh"}) {
+    const ModelWorkload w = build_model_workload(kind, 2);
+    ASSERT_FALSE(w.tasks.empty());
+    EXPECT_EQ(w.tasks.size(), 2 * w.num_chains);
+    double total = 0;
+    for (size_t i = 0; i < w.tasks.size(); ++i) {
+      EXPECT_EQ(w.tasks[i].id, static_cast<int>(i));
+      if (i < w.num_chains) {
+        EXPECT_TRUE(w.tasks[i].migratable);
+        EXPECT_EQ(w.tasks[i].ndeps, 0);
+        ASSERT_EQ(w.tasks[i].outs.size(), 1u);
+      } else {
+        EXPECT_FALSE(w.tasks[i].migratable);
+        EXPECT_EQ(w.tasks[i].ndeps, 1);
+        EXPECT_GE(w.tasks[i].cell, 0);
+        total += w.tasks[i].value;
+      }
+    }
+    double ref = 0;
+    for (const auto& [cell, v] : w.reference) ref += v;
+    EXPECT_EQ(total, ref);
+  }
+}
+
+TEST(ExploreModel, WorkloadRejectsUnknownKind) {
+  EXPECT_THROW(build_model_workload("nope", 2), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive exploration: the shipped protocols are clean
+
+TEST(ExploreExhaustive, CleanTwoRankT27) {
+  ExploreConfig cfg;
+  cfg.nranks = 2;
+  const ExploreResult res = explore_exhaustive(cfg);
+  EXPECT_TRUE(res.findings.empty())
+      << (res.findings.empty() ? "" : render({res.findings[0].diag}));
+  EXPECT_TRUE(res.complete);
+  EXPECT_GT(res.stats.states, 50u);
+  RecordProperty("explored_states", static_cast<int>(res.stats.states));
+}
+
+TEST(ExploreExhaustive, CleanTwoRankStealing) {
+  ExploreConfig cfg;
+  cfg.nranks = 2;
+  cfg.stealing = true;
+  const ExploreResult res = explore_exhaustive(cfg);
+  EXPECT_TRUE(res.findings.empty());
+  EXPECT_TRUE(res.complete);
+  EXPECT_GT(res.stats.states, 1000u);
+}
+
+TEST(ExploreExhaustive, CleanCrashRecovery) {
+  ExploreConfig cfg;
+  cfg.nranks = 2;
+  cfg.crash_victim = 1;
+  const ExploreResult res = explore_exhaustive(cfg);
+  EXPECT_TRUE(res.findings.empty());
+  EXPECT_TRUE(res.complete);
+}
+
+TEST(ExploreExhaustive, CleanResetWithDrop) {
+  ExploreConfig cfg;
+  cfg.nranks = 2;
+  cfg.submissions = 2;
+  cfg.drop_budget = 1;
+  const ExploreResult res = explore_exhaustive(cfg);
+  EXPECT_TRUE(res.findings.empty());
+  EXPECT_TRUE(res.complete);
+  // Some stalls are expected: a dropped message can strand the job, which
+  // the production watchdog (not the checker) handles.
+  EXPECT_GT(res.stats.diagnosed, 0u);
+}
+
+TEST(ExploreExhaustive, CleanThreeRanksHH) {
+  ExploreConfig cfg;
+  cfg.workload = "hh";
+  cfg.nranks = 3;
+  const ExploreResult res = explore_exhaustive(cfg);
+  EXPECT_TRUE(res.findings.empty());
+  EXPECT_TRUE(res.complete);
+}
+
+TEST(ExploreExhaustive, TransitionBudgetCutsSearch) {
+  ExploreConfig cfg;
+  cfg.nranks = 2;
+  cfg.stealing = true;
+  cfg.max_transitions = 500;
+  const ExploreResult res = explore_exhaustive(cfg);
+  EXPECT_FALSE(res.complete);
+  // The budget is checked between steps; a backtrack re-execution may
+  // overshoot it by at most one path depth.
+  EXPECT_GE(res.stats.transitions, 500u);
+  EXPECT_LE(res.stats.transitions,
+            500u + static_cast<uint64_t>(res.stats.max_depth) + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded mutations: distinct MPS codes
+
+ExploreConfig watchdog_cfg() {
+  ExploreConfig cfg;
+  cfg.nranks = 2;
+  cfg.stealing = true;
+  cfg.drop_budget = 1;
+  cfg.max_messages = 100;
+  cfg.mutations.skip_watchdog_progress_rule = true;
+  return cfg;
+}
+
+ExploreConfig recovery_cfg() {
+  ExploreConfig cfg;
+  cfg.nranks = 2;
+  cfg.crash_victim = 1;
+  cfg.mutations.skip_recovery_zero_reset = true;
+  return cfg;
+}
+
+ExploreConfig rebase_cfg() {
+  ExploreConfig cfg;
+  cfg.nranks = 2;
+  cfg.submissions = 2;
+  cfg.drop_budget = 1;
+  cfg.mutations.skip_seqwindow_rebase = true;
+  return cfg;
+}
+
+TEST(ExploreMutation, WatchdogProgressRuleYieldsLivelock) {
+  const ExploreResult res = explore_exhaustive(watchdog_cfg());
+  ASSERT_FALSE(res.findings.empty());
+  EXPECT_EQ(res.findings[0].diag.code, "MPS006");
+  // The same config WITHOUT the mutation is clean.
+  ExploreConfig clean = watchdog_cfg();
+  clean.mutations = {};
+  const ExploreResult control = explore_exhaustive(clean);
+  EXPECT_TRUE(control.findings.empty());
+}
+
+TEST(ExploreMutation, RecoveryZeroResetYieldsDoubleAccumulation) {
+  const ExploreResult res = explore_exhaustive(recovery_cfg());
+  ASSERT_FALSE(res.findings.empty());
+  EXPECT_EQ(res.findings[0].diag.code, "MPS001");
+  ExploreConfig clean = recovery_cfg();
+  clean.mutations = {};
+  const ExploreResult control = explore_exhaustive(clean);
+  EXPECT_TRUE(control.findings.empty());
+  EXPECT_TRUE(control.complete);
+}
+
+TEST(ExploreMutation, SeqWindowRebaseYieldsWindowLeak) {
+  const ExploreResult res = explore_exhaustive(rebase_cfg());
+  ASSERT_FALSE(res.findings.empty());
+  EXPECT_EQ(res.findings[0].diag.code, "MPS005");
+  ExploreConfig clean = rebase_cfg();
+  clean.mutations = {};
+  const ExploreResult control = explore_exhaustive(clean);
+  EXPECT_TRUE(control.findings.empty());
+  EXPECT_TRUE(control.complete);
+}
+
+TEST(ExploreMutation, ThreeMutationsYieldThreeDistinctCodes) {
+  std::set<std::string> codes;
+  for (const ExploreConfig& cfg :
+       {watchdog_cfg(), recovery_cfg(), rebase_cfg()}) {
+    const ExploreResult res = explore_exhaustive(cfg);
+    ASSERT_FALSE(res.findings.empty());
+    codes.insert(res.findings[0].diag.code);
+  }
+  EXPECT_EQ(codes.size(), 3u);
+}
+
+TEST(ExploreMutation, FindingScheduleReplaysToSameCode) {
+  const ExploreResult res = explore_exhaustive(recovery_cfg());
+  ASSERT_FALSE(res.findings.empty());
+  const ReplayResult rr = replay_schedule(res.findings[0].schedule);
+  ASSERT_TRUE(rr.ok) << rr.error;
+  EXPECT_TRUE(has_code(rr.findings, "MPS001"));
+}
+
+TEST(ExploreMutation, MinimizationPreservesCodeAndLegality) {
+  const ExploreResult res = explore_exhaustive(recovery_cfg());
+  ASSERT_FALSE(res.findings.empty());
+  const Schedule minimized =
+      minimize_schedule(res.findings[0].schedule, "MPS001");
+  EXPECT_LE(minimized.steps.size(), res.findings[0].schedule.steps.size());
+  const ReplayResult rr = replay_schedule(minimized);
+  ASSERT_TRUE(rr.ok) << rr.error;
+  EXPECT_TRUE(has_code(rr.findings, "MPS001"));
+}
+
+// ---------------------------------------------------------------------------
+// Pinned regression schedules
+
+struct Pinned {
+  const char* file;
+  const char* code;
+};
+
+const Pinned kPinned[] = {
+    {"mps001_double_accumulation.mps", "MPS001"},
+    {"mps005_window_leak.mps", "MPS005"},
+    {"mps006_watchdog_livelock.mps", "MPS006"},
+};
+
+TEST(ExplorePinned, SchedulesReplayToTheirCode) {
+  for (const Pinned& p : kPinned) {
+    const Schedule sched = load_schedule(p.file);
+    const ReplayResult rr = replay_schedule(sched);
+    ASSERT_TRUE(rr.ok) << p.file << ": " << rr.error;
+    EXPECT_TRUE(has_code(rr.findings, p.code))
+        << p.file << " expected " << p.code << " got\n" << render(rr.findings);
+  }
+}
+
+TEST(ExplorePinned, ReplayIsDeterministicAcrossRuns) {
+  for (const Pinned& p : kPinned) {
+    const Schedule sched = load_schedule(p.file);
+    const ReplayResult first = replay_schedule(sched);
+    ASSERT_TRUE(first.ok) << first.error;
+    const std::string rendered = render(first.findings);
+    for (int run = 1; run < 5; ++run) {
+      const ReplayResult again = replay_schedule(sched);
+      ASSERT_TRUE(again.ok);
+      EXPECT_EQ(render(again.findings), rendered) << p.file;
+      EXPECT_EQ(again.fingerprint, first.fingerprint) << p.file;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Schedule format
+
+TEST(ExploreSchedule, TextRoundTrip) {
+  const Schedule sched = load_schedule("mps006_watchdog_livelock.mps");
+  const Schedule back = Schedule::from_text(sched.to_text());
+  EXPECT_EQ(back.steps.size(), sched.steps.size());
+  for (size_t i = 0; i < sched.steps.size(); ++i) {
+    EXPECT_TRUE(back.steps[i] == sched.steps[i]) << "step " << i;
+  }
+  EXPECT_EQ(back.to_text(), sched.to_text());
+}
+
+TEST(ExploreSchedule, ChoiceStrParseRoundTrip) {
+  const Choice samples[] = {
+      {ChoiceKind::kDeliver, 0, 1, 101, 7},
+      {ChoiceKind::kDrop, 1, 0, 106, 3},
+      {ChoiceKind::kDuplicate, 1, 0, 104, 9},
+      {ChoiceKind::kExecute, 0, 5, 0, 0},
+      {ChoiceKind::kStealTick, 1, -1, 0, 0},
+      {ChoiceKind::kStealTimeout, 0, -1, 0, 0},
+      {ChoiceKind::kResendTick, 1, -1, 0, 0},
+      {ChoiceKind::kHeartbeatTick, 0, -1, 0, 0},
+      {ChoiceKind::kConfirmDeath, 0, 1, 0, 0},
+      {ChoiceKind::kCrash, 1, -1, 0, 0},
+      {ChoiceKind::kReset, -1, -1, 0, 0},
+  };
+  for (const Choice& c : samples) {
+    const std::optional<Choice> back = Choice::parse(c.str());
+    ASSERT_TRUE(back.has_value()) << c.str();
+    EXPECT_TRUE(*back == c) << c.str();
+  }
+  EXPECT_FALSE(Choice::parse("frobnicate 1 2").has_value());
+  EXPECT_FALSE(Choice::parse("deliver 0 1").has_value());
+}
+
+TEST(ExploreSchedule, FromTextRejectsMalformedInput) {
+  EXPECT_THROW(Schedule::from_text("steps:\nexec 0 0\n"), InvalidArgument);
+  EXPECT_THROW(Schedule::from_text("# mp-explore schedule v1\nnranks 2\n"),
+               InvalidArgument);
+  EXPECT_THROW(
+      Schedule::from_text(
+          "# mp-explore schedule v1\nsteps:\nnot-a-choice 1 2\n"),
+      InvalidArgument);
+}
+
+TEST(ExploreSchedule, ReplayRejectsIllegalStep) {
+  Schedule sched;
+  sched.config.nranks = 2;
+  sched.steps.push_back({ChoiceKind::kExecute, 0, 999, 0, 0});
+  const ReplayResult rr = replay_schedule(sched);
+  EXPECT_FALSE(rr.ok);
+  EXPECT_NE(rr.error.find("step 1"), std::string::npos) << rr.error;
+}
+
+// ---------------------------------------------------------------------------
+// Random walk fallback
+
+TEST(ExploreRandomWalk, FindsSeededBugWithinBudget) {
+  // The recovery mutation has dense failing paths: a modest seeded walk
+  // budget finds it without exhaustion.
+  const ExploreResult res =
+      explore_random_walk(recovery_cfg(), /*walks=*/2000, /*seed=*/42);
+  ASSERT_FALSE(res.findings.empty());
+  EXPECT_EQ(res.findings[0].diag.code, "MPS001");
+  EXPECT_FALSE(res.complete);  // sampling never proves absence
+  const ReplayResult rr = replay_schedule(res.findings[0].schedule);
+  ASSERT_TRUE(rr.ok) << rr.error;
+  EXPECT_TRUE(has_code(rr.findings, "MPS001"));
+}
+
+TEST(ExploreRandomWalk, CleanConfigStaysClean) {
+  ExploreConfig cfg;
+  cfg.nranks = 2;
+  cfg.stealing = true;
+  const ExploreResult res = explore_random_walk(cfg, 200, 7);
+  EXPECT_TRUE(res.findings.empty());
+}
+
+TEST(ExploreRandomWalk, BudgetEnvOverridesFallback) {
+  ASSERT_EQ(unsetenv("MP_EXPLORE_BUDGET"), 0);
+  EXPECT_EQ(explore_walk_budget(123), 123u);
+  ASSERT_EQ(setenv("MP_EXPLORE_BUDGET", "456", 1), 0);
+  EXPECT_EQ(explore_walk_budget(123), 456u);
+  ASSERT_EQ(setenv("MP_EXPLORE_BUDGET", "0", 1), 0);
+  EXPECT_EQ(explore_walk_budget(123), 1u);  // clamped low
+  ASSERT_EQ(setenv("MP_EXPLORE_BUDGET", "99999999", 1), 0);
+  EXPECT_EQ(explore_walk_budget(123), 1000000u);  // clamped high
+  ASSERT_EQ(unsetenv("MP_EXPLORE_BUDGET"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Config validation
+
+TEST(ExploreConfigChecks, RejectsBadConfigs) {
+  {
+    ExploreConfig cfg;
+    cfg.nranks = 1;
+    EXPECT_THROW(explore_exhaustive(cfg), InvalidArgument);
+  }
+  {
+    ExploreConfig cfg;
+    cfg.crash_victim = 0;  // the coordinator cannot crash in the model
+    EXPECT_THROW(explore_exhaustive(cfg), InvalidArgument);
+  }
+  {
+    ExploreConfig cfg;
+    cfg.crash_victim = 5;  // out of range for 2 ranks
+    EXPECT_THROW(explore_exhaustive(cfg), InvalidArgument);
+  }
+}
+
+}  // namespace
+}  // namespace mp::analysis

@@ -717,5 +717,135 @@ TEST(Cluster, KillRankClosesMailboxAndReviveRestoresDelivery) {
   EXPECT_EQ(got->tag, 42);
 }
 
+// ---------------------------------------------------------------------------
+// SeqWindow direct property tests (the exactly-once object shared by the
+// runtime mailboxes and the mp-explore model checker).
+
+TEST(SeqWindow, AcceptsEachSeqExactlyOnce) {
+  SeqWindow w;
+  EXPECT_TRUE(w.accept(1));
+  EXPECT_TRUE(w.accept(2));
+  EXPECT_FALSE(w.accept(1));
+  EXPECT_FALSE(w.accept(2));
+  EXPECT_EQ(w.watermark, 2u);
+  EXPECT_EQ(w.backlog(), 0u);
+}
+
+TEST(SeqWindow, ReorderBeyondContiguousPrefixParksAbove) {
+  SeqWindow w;
+  // Arbitrary reorder: the contiguous prefix drains into the watermark,
+  // everything past a gap is remembered individually.
+  EXPECT_TRUE(w.accept(3));
+  EXPECT_TRUE(w.accept(7));
+  EXPECT_TRUE(w.accept(1));
+  EXPECT_EQ(w.watermark, 1u);
+  EXPECT_EQ(w.backlog(), 2u);  // 3 and 7 parked
+  EXPECT_FALSE(w.accept(3));   // parked seqs are still duplicates
+  EXPECT_FALSE(w.accept(7));
+  EXPECT_TRUE(w.accept(2));  // fills the gap: drains 2,3 -> watermark 3
+  EXPECT_EQ(w.watermark, 3u);
+  EXPECT_EQ(w.backlog(), 1u);  // 7 remains
+  EXPECT_TRUE(w.accept(4));
+  EXPECT_TRUE(w.accept(5));
+  EXPECT_TRUE(w.accept(6));
+  EXPECT_EQ(w.watermark, 7u);  // 7 drained with the prefix
+  EXPECT_EQ(w.backlog(), 0u);
+}
+
+TEST(SeqWindow, RebaseCollapsesGapsToHighWater) {
+  SeqWindow w;
+  EXPECT_TRUE(w.accept(1));
+  EXPECT_TRUE(w.accept(5));  // gap: 2..4 dropped by the fabric
+  EXPECT_TRUE(w.accept(9));
+  EXPECT_EQ(w.watermark, 1u);
+  EXPECT_EQ(w.backlog(), 2u);
+  w.rebase();
+  EXPECT_EQ(w.watermark, 9u);
+  EXPECT_EQ(w.backlog(), 0u);
+  // Everything at or below the high-water mark is now a duplicate...
+  EXPECT_FALSE(w.accept(3));
+  EXPECT_FALSE(w.accept(9));
+  // ...and fresh seqs continue from there.
+  EXPECT_TRUE(w.accept(10));
+  EXPECT_EQ(w.watermark, 10u);
+}
+
+TEST(SeqWindow, RebaseOnEmptyAboveIsANoOp) {
+  SeqWindow w;
+  EXPECT_TRUE(w.accept(1));
+  EXPECT_TRUE(w.accept(2));
+  w.rebase();
+  EXPECT_EQ(w.watermark, 2u);
+  EXPECT_TRUE(w.accept(3));
+}
+
+TEST(SeqWindow, DuplicateAfterRebaseStaysFiltered) {
+  SeqWindow w;
+  EXPECT_TRUE(w.accept(2));  // seq 1 still in flight
+  w.rebase();                // quiescent-point collapse: watermark = 2
+  // The straggler arrives after the rebase. Its seq is below the new
+  // watermark, so the window (conservatively, and correctly for same-
+  // incarnation traffic) treats it as already seen.
+  EXPECT_FALSE(w.accept(1));
+  EXPECT_FALSE(w.accept(2));
+  EXPECT_TRUE(w.accept(3));
+}
+
+TEST(SeqWindow, RebaseAroundWrapKeepsMonotonicity) {
+  // Near the top of the 64-bit seq space the window must stay monotone:
+  // rebase jumps to the maximum accepted seq and near-max arithmetic does
+  // not overflow back to small watermarks.
+  const uint64_t top = ~0ULL;
+  SeqWindow w;
+  w.watermark = top - 5;
+  EXPECT_TRUE(w.accept(top - 3));  // gap at top-4
+  EXPECT_TRUE(w.accept(top - 1));
+  EXPECT_EQ(w.watermark, top - 5);
+  EXPECT_EQ(w.backlog(), 2u);
+  w.rebase();
+  EXPECT_EQ(w.watermark, top - 1);
+  EXPECT_EQ(w.backlog(), 0u);
+  EXPECT_FALSE(w.accept(top - 4));  // the dropped seq can never re-arrive
+  EXPECT_TRUE(w.accept(top));       // the last representable seq still lands
+  EXPECT_EQ(w.watermark, top);
+  EXPECT_FALSE(w.accept(top));
+}
+
+TEST(SeqWindow, EqualityComparesWatermarkAndBacklog) {
+  SeqWindow a;
+  SeqWindow b;
+  EXPECT_TRUE(a == b);
+  ASSERT_TRUE(a.accept(2));
+  EXPECT_FALSE(a == b);
+  ASSERT_TRUE(b.accept(2));
+  EXPECT_TRUE(a == b);
+  a.rebase();
+  b.rebase();
+  EXPECT_TRUE(a == b);
+}
+
+TEST(SeqWindow, MailboxWindowSnapshotMirrorsAccepts) {
+  Mailbox box;
+  auto push = [&](int src, uint64_t seq) {
+    Message m;
+    m.src = src;
+    m.dst = 0;
+    m.tag = 7;
+    m.seq = seq;
+    return box.push(std::move(m));
+  };
+  EXPECT_TRUE(push(1, 1));
+  EXPECT_TRUE(push(1, 3));  // out of order: parked above
+  EXPECT_TRUE(push(2, 1));
+  const auto snap = box.window_snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, 1);
+  EXPECT_EQ(snap[0].second.watermark, 1u);
+  EXPECT_EQ(snap[0].second.backlog(), 1u);
+  EXPECT_EQ(snap[1].first, 2);
+  EXPECT_EQ(snap[1].second.watermark, 1u);
+  EXPECT_EQ(snap[1].second.backlog(), 0u);
+}
+
 }  // namespace
 }  // namespace mp::vc

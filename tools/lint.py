@@ -25,12 +25,27 @@ Checks, each with a stable rule id:
   using-namespace-std    `using namespace std;` is banned everywhere.
   reset-stats-discipline The persistent-Context reset body
                          (Context::reset_local_state in
-                         src/ptg/context.cpp) must snapshot + validate()
-                         every stats family (steal, failure, scheduler)
-                         BEFORE the first counter is zeroed: each
-                         release-ordered counter write must be paired
-                         with an acquire-ordered snapshot read, or a torn
-                         pair silently survives into the next submission.
+                         src/ptg/context.cpp, the worker half of
+                         reset_for_resubmission) must snapshot +
+                         validate() every stats family BEFORE the first
+                         counter is zeroed: each release-ordered counter
+                         write must be paired with an acquire-ordered
+                         snapshot read, or a torn pair silently survives
+                         into the next submission. The families are NOT
+                         hardcoded: every `*Stats`-returning zero-arg
+                         accessor declared in src/ptg/context.h is
+                         discovered by pattern, so adding a new stats
+                         family to the Context automatically extends the
+                         reset obligation.
+  wire-tag-exhaustiveness Every `switch` over a fabric message tag (the
+                         WireTag enum in src/ptg/protocol.h, or its
+                         Context::kTag* aliases) must either list a case
+                         for every enumerator or carry a `default:` that
+                         raises / logs (MP_REQUIRE, MP_ASSERT, throw,
+                         abort, MP_LOG_WARN/ERROR). A silently dropped
+                         tag is the PR 6 livelock class: the message is
+                         consumed, no handler runs, and the protocol
+                         stalls with no diagnostic.
 
 Exit status: 0 clean, 1 findings, 2 internal error.
 Usage: tools/lint.py [--tidy] [paths...]   (default: src/)
@@ -127,6 +142,14 @@ def lint_file(path, findings):
 
     if str(rel) == "src/ptg/context.cpp":
         lint_reset_stats(path, rel, text, code, findings)
+        if lint_tag_switches(rel, text, code, findings) == 0:
+            findings.append(
+                (rel, 1, "wire-tag-exhaustiveness",
+                 "no switch over a message tag found in the comm loop; "
+                 "the dispatch-exhaustiveness rule cannot anchor (update "
+                 "tools/lint.py if the dispatch moved)"))
+    elif in_src:
+        lint_tag_switches(rel, text, code, findings)
 
     if in_src:
         for m in BODY_RE.finditer(code):
@@ -163,7 +186,30 @@ def lint_file(path, findings):
 
 
 RESET_FN_RE = re.compile(r"void\s+Context::reset_local_state\s*\([^)]*\)\s*\{")
-RESET_SNAPSHOTS = ("steal_stats()", "failure_stats()", "sched_->stats()")
+# Zero-arg accessor returning a stats aggregate, e.g.
+#   StealStats steal_stats() const;
+#   SchedStats scheduler_stats() const { return sched_->stats(); }
+STATS_ACCESSOR_RE = re.compile(r"\b([A-Z]\w*Stats)\s+(\w+)\s*\(\s*\)\s*const")
+
+
+def reset_stats_families(header_path):
+    """Discover the stats families the reset body must certify: every
+    `*Stats`-returning zero-arg const accessor declared in context.h.
+    Returns [(type, method), ...] deduplicated by type, declaration order.
+    Pattern-based on purpose (ISSUE 10): adding e.g. `ResendStats
+    resend_stats() const` to the Context extends the reset obligation
+    without touching this file."""
+    try:
+        header = header_path.read_text(encoding="utf-8", errors="replace")
+    except OSError:
+        return []
+    seen, families = set(), []
+    for typ, method in STATS_ACCESSOR_RE.findall(
+            strip_comments_and_strings(header)):
+        if typ not in seen:
+            seen.add(typ)
+            families.append((typ, method))
+    return families
 
 
 def lint_reset_stats(path, rel, text, code, findings):
@@ -171,7 +217,11 @@ def lint_reset_stats(path, rel, text, code, findings):
     (acquire) and validate() every stats counter family before it zeroes
     (release) the first counter — see src/ptg/context.h's counter-pair
     discipline. Anchored on Context::reset_local_state; if that function
-    disappears the rule reports, so a rename cannot silently retire it."""
+    disappears the rule reports, so a rename cannot silently retire it.
+    The family list is discovered from context.h (reset_stats_families),
+    and each family is matched by its snapshot TYPE, not the accessor
+    spelling, so `sched_->stats()` and `scheduler_stats()` both satisfy
+    the SchedStats obligation."""
     m = RESET_FN_RE.search(code)
     if not m:
         findings.append(
@@ -179,6 +229,14 @@ def lint_reset_stats(path, rel, text, code, findings):
              "Context::reset_local_state not found; the reset-path stats "
              "discipline cannot be checked (update tools/lint.py if the "
              "reset body moved)"))
+        return
+    families = reset_stats_families(path.parent / "context.h")
+    if not families:
+        findings.append(
+            (rel, 1, "reset-stats-discipline",
+             "no *Stats-returning accessors discovered in src/ptg/"
+             "context.h; the reset-path stats discipline cannot be "
+             "checked (update tools/lint.py if the accessors moved)"))
         return
     lo, hi = lambda_span(code, m.end() - 1)
     body = code[lo:hi]
@@ -189,23 +247,97 @@ def lint_reset_stats(path, rel, text, code, findings):
              "reset body zeroes no counters; the between-runs reset must "
              "re-arm the atomic counters (or this rule needs updating)"))
         return
-    for snap in RESET_SNAPSHOTS:
-        pos = body.find(snap)
+    for typ, method in families:
+        pos = body.find(typ)
         if pos < 0 or pos > first_zero:
             where = "missing" if pos < 0 else "after the first `.store(0`"
             findings.append(
                 (rel, line_of(text, lo + (pos if pos >= 0 else 0)),
                  "reset-stats-discipline",
-                 f"stats snapshot `{snap}` {where}: every counter family "
-                 "must be snapshotted (acquire) and validated before any "
-                 "counter is zeroed (release)"))
+                 f"`{typ}` snapshot (accessor `{method}()`) {where}: every "
+                 "counter family must be snapshotted (acquire) and "
+                 "validated before any counter is zeroed (release)"))
     n_validate = body.count(".validate()", 0, first_zero)
-    if n_validate < len(RESET_SNAPSHOTS):
+    if n_validate < len(families):
+        names = ", ".join(t for t, _ in families)
         findings.append(
             (rel, line_of(text, lo), "reset-stats-discipline",
              f"only {n_validate} .validate() call(s) before the first "
-             f"`.store(0` (need {len(RESET_SNAPSHOTS)}: steal, failure, "
-             "scheduler)"))
+             f"`.store(0` (need {len(families)}: {names})"))
+
+
+WIRE_ENUM_FILE = "src/ptg/protocol.h"
+WIRE_ENUM_RE = re.compile(r"\bkWire(\w+)\s*=\s*\d+")
+# A switch whose controlling expression is a message tag: `switch (tag)`,
+# `switch (m.tag)`, `switch (msg->tag)`, ... — the expression must END in
+# the identifier `tag` so switches over unrelated enums never match.
+TAG_SWITCH_RE = re.compile(r"\bswitch\s*\(\s*([^()]*?\btag)\s*\)")
+CASE_TAG_RE = re.compile(r"\bcase\s+(?:\w+\s*::\s*)*k(?:Wire|Tag)(\w+)\s*:")
+DEFAULT_RAISES_RE = re.compile(
+    r"\b(?:MP_REQUIRE|MP_ASSERT|MP_LOG_WARN|MP_LOG_ERROR|throw|abort)\b")
+
+_WIRE_TAGS = None
+
+
+def wire_tags():
+    """Enumerator names of the WireTag enum (kWire prefix stripped),
+    parsed from src/ptg/protocol.h. Cached; empty set on parse failure —
+    lint_tag_switches turns that into a finding rather than silence."""
+    global _WIRE_TAGS
+    if _WIRE_TAGS is None:
+        try:
+            text = (REPO / WIRE_ENUM_FILE).read_text(encoding="utf-8",
+                                                     errors="replace")
+            _WIRE_TAGS = frozenset(
+                WIRE_ENUM_RE.findall(strip_comments_and_strings(text)))
+        except OSError:
+            _WIRE_TAGS = frozenset()
+    return _WIRE_TAGS
+
+
+def lint_tag_switches(rel, text, code, findings):
+    """wire-tag-exhaustiveness: every switch over a fabric message tag
+    must handle all WireTag enumerators or carry a default that raises.
+    Returns the number of tag switches inspected (context.cpp anchors on
+    it being nonzero, so moving the dispatch cannot retire the rule)."""
+    inspected = 0
+    for m in TAG_SWITCH_RE.finditer(code):
+        inspected += 1
+        lo, hi = lambda_span(code, m.end())
+        body = code[lo:hi]
+        if not wire_tags():
+            findings.append(
+                (rel, line_of(text, m.start()), "wire-tag-exhaustiveness",
+                 f"switch over `{m.group(1).strip()}` but no WireTag "
+                 f"enumerators could be parsed from {WIRE_ENUM_FILE}; "
+                 "update tools/lint.py"))
+            continue
+        handled = set(CASE_TAG_RE.findall(body))
+        missing = sorted(wire_tags() - handled)
+        if not missing:
+            continue  # fully enumerated; a default is then optional
+        dm = re.search(r"\bdefault\s*:", body)
+        if dm:
+            # The default's statement region: up to the next case label
+            # (defaults normally come last, so usually the body tail).
+            nxt = re.search(r"\bcase\b", body[dm.end():])
+            region = body[dm.end():dm.end() + nxt.start() if nxt
+                          else len(body)]
+            if DEFAULT_RAISES_RE.search(region):
+                continue
+            findings.append(
+                (rel, line_of(text, lo + dm.start()),
+                 "wire-tag-exhaustiveness",
+                 "tag switch default does not raise or log (need "
+                 "MP_REQUIRE/MP_ASSERT/throw/abort/MP_LOG_*) and cases "
+                 "miss: " + ", ".join("kWire" + t for t in missing)))
+        else:
+            findings.append(
+                (rel, line_of(text, m.start()), "wire-tag-exhaustiveness",
+                 "tag switch without default misses enumerators: "
+                 + ", ".join("kWire" + t for t in missing)
+                 + " (add the cases or a raising default)"))
+    return inspected
 
 
 def run_tidy():

@@ -1,0 +1,212 @@
+// mp-explore — systematic model checking of the distributed runtime
+// protocols (DESIGN.md §12).
+//
+// Enumerates interleavings of a small protocol configuration (message
+// deliveries, drops, duplications, task executions, steal ticks, crashes,
+// death confirmations, resets) either exhaustively with sleep-set
+// partial-order reduction or as seeded random walks, checking the MPS0xx
+// protocol invariants at every step. Any violation is reported together
+// with a minimized, replayable schedule file.
+//
+// Exit status 0 when the explored space is clean, 1 when any MPS finding
+// fires, 2 on usage errors.
+//
+// Usage:
+//   mp-explore [--workload=t2_7|hh] [--ranks=N] [--stealing] [--heartbeats]
+//              [--crash=R] [--submissions=N] [--drops=N] [--dups=N]
+//              [--max-steps=N] [--max-messages=N] [--max-transitions=N]
+//              [--mutate=skip_watchdog_progress_rule|skip_recovery_zero_reset|
+//                        skip_seqwindow_rebase]
+//              [--walk=N] [--seed=S] [--replay=FILE] [--save=FILE] [--quiet]
+//
+// Default mode is exhaustive; --walk=N runs N random walks instead
+// (MP_EXPLORE_BUDGET overrides N when set); --replay=FILE re-executes a
+// recorded schedule deterministically and reports its findings.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/explore.h"
+
+namespace {
+
+using namespace mp;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workload=t2_7|hh] [--ranks=N] [--stealing]\n"
+               "          [--heartbeats] [--crash=R] [--submissions=N]\n"
+               "          [--drops=N] [--dups=N] [--max-steps=N]\n"
+               "          [--max-messages=N] [--max-transitions=N]\n"
+               "          [--mutate=NAME] [--walk=N] [--seed=S]\n"
+               "          [--replay=FILE] [--save=FILE] [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_flag(const char* arg, const char* name, std::string* value) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *value = arg + n + 1;
+  return true;
+}
+
+void print_findings(const std::vector<analysis::Diag>& diags) {
+  std::printf("%s", analysis::render(diags).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  analysis::ExploreConfig cfg;
+  bool quiet = false;
+  uint64_t walks = 0;
+  uint64_t seed = 0x6d702d6578ULL;  // arbitrary fixed default
+  std::string replay_file;
+  std::string save_file;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::string v;
+    if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(arg, "--stealing") == 0) {
+      cfg.stealing = true;
+    } else if (std::strcmp(arg, "--heartbeats") == 0) {
+      cfg.heartbeats = true;
+    } else if (parse_flag(arg, "--workload", &v)) {
+      cfg.workload = v;
+    } else if (parse_flag(arg, "--ranks", &v)) {
+      cfg.nranks = std::stoi(v);
+    } else if (parse_flag(arg, "--crash", &v)) {
+      cfg.crash_victim = std::stoi(v);
+    } else if (parse_flag(arg, "--submissions", &v)) {
+      cfg.submissions = std::stoi(v);
+    } else if (parse_flag(arg, "--drops", &v)) {
+      cfg.drop_budget = std::stoi(v);
+    } else if (parse_flag(arg, "--dups", &v)) {
+      cfg.dup_budget = std::stoi(v);
+    } else if (parse_flag(arg, "--max-steps", &v)) {
+      cfg.max_steps = std::stoi(v);
+    } else if (parse_flag(arg, "--max-messages", &v)) {
+      cfg.max_messages = std::stoull(v);
+    } else if (parse_flag(arg, "--max-transitions", &v)) {
+      cfg.max_transitions = std::stoull(v);
+    } else if (parse_flag(arg, "--mutate", &v)) {
+      if (v == "skip_watchdog_progress_rule") {
+        cfg.mutations.skip_watchdog_progress_rule = true;
+      } else if (v == "skip_recovery_zero_reset") {
+        cfg.mutations.skip_recovery_zero_reset = true;
+      } else if (v == "skip_seqwindow_rebase") {
+        cfg.mutations.skip_seqwindow_rebase = true;
+      } else {
+        std::fprintf(stderr, "unknown mutation '%s'\n", v.c_str());
+        return usage(argv[0]);
+      }
+    } else if (parse_flag(arg, "--walk", &v)) {
+      walks = std::stoull(v);
+    } else if (parse_flag(arg, "--seed", &v)) {
+      seed = std::stoull(v);
+    } else if (parse_flag(arg, "--replay", &v)) {
+      replay_file = v;
+    } else if (parse_flag(arg, "--save", &v)) {
+      save_file = v;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg);
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    // ---- replay mode ------------------------------------------------------
+    if (!replay_file.empty()) {
+      std::ifstream in(replay_file);
+      if (!in) {
+        std::fprintf(stderr, "mp-explore: cannot open '%s'\n",
+                     replay_file.c_str());
+        return 2;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      const analysis::Schedule sched =
+          analysis::Schedule::from_text(text.str());
+      const analysis::ReplayResult rr = analysis::replay_schedule(sched);
+      if (!rr.ok) {
+        std::fprintf(stderr, "mp-explore: replay failed: %s\n",
+                     rr.error.c_str());
+        return 2;
+      }
+      if (!quiet) {
+        std::printf("replayed %zu steps, fingerprint %016llx\n",
+                    sched.steps.size(),
+                    static_cast<unsigned long long>(rr.fingerprint));
+      }
+      print_findings(rr.findings);
+      return rr.findings.empty() ? 0 : 1;
+    }
+
+    // ---- exploration modes ------------------------------------------------
+    analysis::ExploreResult res;
+    if (walks > 0) {
+      const uint64_t budget = analysis::explore_walk_budget(walks);
+      res = analysis::explore_random_walk(cfg, budget, seed);
+      if (!quiet) {
+        std::printf("random walk: %llu walk budget, %llu states, "
+                    "%llu transitions, max depth %d\n",
+                    static_cast<unsigned long long>(budget),
+                    static_cast<unsigned long long>(res.stats.states),
+                    static_cast<unsigned long long>(res.stats.transitions),
+                    res.stats.max_depth);
+      }
+    } else {
+      res = analysis::explore_exhaustive(cfg);
+      if (!quiet) {
+        std::printf(
+            "exhaustive: %llu states, %llu transitions, %llu sleep-pruned, "
+            "%llu cache-pruned, %llu cycles, %llu truncated, %llu diagnosed, "
+            "max depth %d, %s\n",
+            static_cast<unsigned long long>(res.stats.states),
+            static_cast<unsigned long long>(res.stats.transitions),
+            static_cast<unsigned long long>(res.stats.sleep_pruned),
+            static_cast<unsigned long long>(res.stats.cache_pruned),
+            static_cast<unsigned long long>(res.stats.cycles),
+            static_cast<unsigned long long>(res.stats.truncated),
+            static_cast<unsigned long long>(res.stats.diagnosed),
+            res.stats.max_depth, res.complete ? "complete" : "incomplete");
+      }
+    }
+
+    if (res.findings.empty()) {
+      if (!quiet) std::printf("clean: no MPS findings\n");
+      return 0;
+    }
+
+    const analysis::ExploreFinding& f = res.findings.front();
+    std::vector<analysis::Diag> diags = {f.diag};
+    print_findings(diags);
+    const analysis::Schedule minimized =
+        analysis::minimize_schedule(f.schedule, f.diag.code);
+    if (!quiet) {
+      std::printf("schedule: %zu steps (minimized from %zu)\n",
+                  minimized.steps.size(), f.schedule.steps.size());
+    }
+    if (!save_file.empty()) {
+      std::ofstream out(save_file);
+      if (!out) {
+        std::fprintf(stderr, "mp-explore: cannot write '%s'\n",
+                     save_file.c_str());
+        return 2;
+      }
+      out << minimized.to_text();
+      if (!quiet) std::printf("saved: %s\n", save_file.c_str());
+    } else if (!quiet) {
+      std::printf("%s", minimized.to_text().c_str());
+    }
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mp-explore: %s\n", e.what());
+    return 2;
+  }
+}

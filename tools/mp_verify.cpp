@@ -11,7 +11,10 @@
 // Exit status 0 when every combination verifies clean, 1 when any
 // diagnostic fires, 2 on usage errors. Run with no arguments to sweep all
 // workloads (t2_7, hh_ladder, fused), both tile-space specs (C1 and a
-// 4-irrep C2v-style one) and all five paper variants on 3 ranks.
+// 4-irrep C2v-style one) and all five paper variants on 3 ranks — plus the
+// tiled-Cholesky app's PTG (apps/cholesky.h's build_cholesky_pool, the
+// exact pool tiled_cholesky() executes) through the graph layer at several
+// tile counts.
 //
 // Usage:
 //   mp-verify [--workload=all|t2_7|hh_ladder|fused] [--spec=all|small|irreps]
@@ -22,7 +25,9 @@
 #include <string>
 #include <vector>
 
+#include "analysis/graph_verify.h"
 #include "analysis/tce_verify.h"
+#include "apps/cholesky.h"
 #include "ga/global_array.h"
 #include "tce/block_tensor.h"
 #include "tce/chain_plan.h"
@@ -131,7 +136,8 @@ Workload make_workload(const std::string& kind, const std::string& spec_name,
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--workload=all|t2_7|hh_ladder|fused|skewed|nested]\n"
+               "usage: %s [--workload=all|t2_7|hh_ladder|fused|skewed|nested"
+               "|cholesky]\n"
                "          [--spec=all|small|irreps] "
                "[--variant=all|v1|v2|v3|v4|v5]\n"
                "          [--nranks=N] [--quiet]\n",
@@ -187,7 +193,9 @@ int main(int argc, char** argv) {
   for (const char* k : {"t2_7", "hh_ladder", "fused", "skewed", "nested"}) {
     if (want_workload == "all" || want_workload == k) kinds.push_back(k);
   }
-  if (kinds.empty()) return usage(argv[0]);
+  const bool want_cholesky =
+      want_workload == "all" || want_workload == "cholesky";
+  if (kinds.empty() && !want_cholesky) return usage(argv[0]);
 
   size_t combos = 0, failures = 0, total_diags = 0;
   for (const auto& [spec_name, spec] : specs) {
@@ -211,6 +219,29 @@ int main(int argc, char** argv) {
                       w.name.c_str(), variant.name.c_str(), nranks,
                       report.num_tasks, report.num_edges);
         }
+      }
+    }
+  }
+  // The Cholesky app is not a TCE workload — no plan, no variants, no tile
+  // space — so it skips the plan/TCE passes and runs the graph layer
+  // directly over the pool tiled_cholesky() executes (build_cholesky_pool;
+  // the --spec / --variant filters do not apply).
+  if (want_cholesky) {
+    for (const int tiles : {2, 4, 6}) {
+      ++combos;
+      const ptg::Taskpool pool = apps::build_cholesky_pool(tiles, nranks);
+      const analysis::GraphModel g = analysis::materialize_graph(pool, nranks);
+      const std::vector<analysis::Diag> diags = analysis::verify_graph(pool, g);
+      const std::string name = "cholesky/T" + std::to_string(tiles);
+      if (!diags.empty()) {
+        ++failures;
+        total_diags += diags.size();
+        std::printf("FAIL %-16s %-3s nranks=%d: %zu diagnostic(s)\n",
+                    name.c_str(), "ptg", nranks, diags.size());
+        std::printf("%s", analysis::render(diags).c_str());
+      } else if (!quiet) {
+        std::printf("ok   %-16s %-3s nranks=%d: %zu tasks, %zu edges\n",
+                    name.c_str(), "ptg", nranks, g.tasks.size(), g.num_edges);
       }
     }
   }
